@@ -1,0 +1,87 @@
+// Figure 2: convergence of vanilla vs fully-low-rank models (every layer
+// except the first conv and last FC factorized at rank ratio 0.25, trained
+// from scratch) -- (a) VGG-class model on CIFAR-10, (b) ResNet-50 on
+// ImageNet.
+//
+// The paper's point: the from-scratch low-rank network converges to a
+// visibly lower test accuracy, motivating the hybrid + warm-up mitigations.
+// We print the per-epoch test-accuracy series for both arms on both tasks.
+#include "common.h"
+
+using namespace bench;
+
+namespace {
+
+void print_series(const std::string& title, const core::VisionResult& vanilla,
+                  const core::VisionResult& lowrank) {
+  std::printf("%s\n", title.c_str());
+  metrics::Table t({"epoch", "vanilla acc (%)", "low-rank acc (%)"});
+  for (size_t e = 0; e < vanilla.epochs.size(); ++e)
+    t.add_row({std::to_string(e),
+               metrics::fmt(100 * vanilla.epochs[e].test_acc, 1),
+               metrics::fmt(100 * lowrank.epochs[e].test_acc, 1)});
+  t.print();
+  std::printf("final: vanilla %.2f%% (%s params) vs low-rank %.2f%% (%s "
+              "params)\n\n",
+              100 * vanilla.final_acc,
+              metrics::fmt_int(vanilla.params).c_str(),
+              100 * lowrank.final_acc,
+              metrics::fmt_int(lowrank.params).c_str());
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 2: vanilla vs from-scratch low-rank convergence",
+         "Pufferfish Figure 2 (Section 3)",
+         "CIFAR-10/ImageNet -> synthetic tasks; width-scaled models; rank "
+         "ratio 0.25 everywhere but first conv / last FC");
+
+  {
+    // (a) VGG-11 on the CIFAR-like task, exactly the paper's Figure 2(a)
+    // model: low-rank from scratch (K = 2: every conv after the first one
+    // factorized; hidden FCs factorized, classifier FC kept).
+    data::SyntheticImages ds = cifar_like();
+    core::VisionTrainConfig cfg = vgg_recipe();
+    cfg.warmup_epochs = 0;  // from-scratch arms in both cases
+    auto vgg11 = [](int k) {
+      return [k](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+        models::VggConfig c = models::VggConfig::vgg11(k);
+        c.width_mult = 0.125;
+        return std::make_unique<models::Vgg19>(c, rng);
+      };
+    };
+    core::VisionResult vanilla =
+        core::train_vision(vgg11(0), nullptr, ds, cfg);
+    core::VisionResult lowrank =
+        core::train_vision(vgg11(0), vgg11(2), ds, cfg);
+    print_series("(a) VGG-11 on CIFAR-like (paper: ~0.4% final-acc gap)",
+                 vanilla, lowrank);
+  }
+  {
+    // (b) ResNet-50 on the ImageNet-like task (paper: ~3% top-1 gap --
+    // larger task, larger gap).
+    data::SyntheticImages ds = imagenet_like(160, 80);
+    core::VisionTrainConfig cfg = imagenet_recipe(9, 0);
+    core::VisionResult vanilla = core::train_vision(
+        make_resnet50(0.125, false), nullptr, ds, cfg);
+    // Fully factorized ResNet-50: every stage low-rank, from scratch.
+    auto lowrank_factory = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+      models::ResNetImageNetConfig mc;
+      mc.width_mult = 0.125;
+      mc.num_classes = 20;
+      mc.factorize_stage4 = true;
+      mc.input_hw = 32;
+      return std::make_unique<models::ResNet50>(mc, rng);
+    };
+    core::VisionResult lowrank = core::train_vision(
+        make_resnet50(0.125, false), lowrank_factory, ds, cfg);
+    print_series("(b) ResNet-50 on ImageNet-like (paper: ~3% top-1 gap)",
+                 vanilla, lowrank);
+  }
+  std::printf(
+      "Claim check: the from-scratch low-rank curve should trail the "
+      "vanilla curve, and the gap motivates hybrid + warm-up (Figure 3 / "
+      "Tables 8-9).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 5: Pufferfish vs the Lottery Ticket Hypothesis (iterative
+// magnitude pruning with rewinding) on VGG-19 / CIFAR-10:
+//  (a) parameters removed vs cumulative wall-clock,
+//  (b) parameters removed vs test accuracy.
+//
+// LTH reaches a given sparsity only after several full train-prune-rewind
+// rounds; Pufferfish pays ONE training run (plus one SVD) for its
+// compression. Paper: 5.67x less end-to-end time at equal compression.
+#include "common.h"
+
+#include "baselines/lth.h"
+
+using namespace bench;
+
+int main() {
+  banner("Figure 5: Pufferfish vs LTH (VGG-19, CIFAR-like)",
+         "Pufferfish Figure 5 (Section 4.2)",
+         "open_lth on GPU -> our LTH (global magnitude prune 50%/round, "
+         "rewind) on the width-scaled VGG-19 (single-FC LTH variant)");
+
+  data::SyntheticImages ds = cifar_like();
+
+  // LTH uses the appendix-Table-18 VGG variant (single 512->10 FC head).
+  auto lth_factory = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::VggConfig cfg;
+    cfg.width_mult = 0.125;
+    cfg.lth_classifier = true;
+    return std::make_unique<models::Vgg19>(cfg, rng);
+  };
+
+  baselines::LthConfig lcfg;
+  lcfg.rounds = 3;
+  lcfg.prune_frac_per_round = 0.5;
+  lcfg.inner = vgg_long_recipe(0);
+  auto lth = baselines::run_lth(lth_factory, ds, lcfg);
+
+  // Pufferfish: one run of the same budget on the same backbone.
+  metrics::Timer pf_timer;
+  auto pf_vanilla = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::VggConfig cfg;
+    cfg.width_mult = 0.125;
+    cfg.lth_classifier = true;
+    return std::make_unique<models::Vgg19>(cfg, rng);
+  };
+  auto pf_hybrid = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::VggConfig cfg;
+    cfg.width_mult = 0.125;
+    cfg.lth_classifier = true;
+    cfg.k_first_lowrank = 10;
+    return std::make_unique<models::Vgg19>(cfg, rng);
+  };
+  core::VisionResult pf =
+      core::train_vision(pf_vanilla, pf_hybrid, ds, vgg_long_recipe());
+  const double pf_seconds = pf_timer.seconds();
+
+  Rng rng(1);
+  models::VggConfig dense_cfg;
+  dense_cfg.width_mult = 0.125;
+  dense_cfg.lth_classifier = true;
+  models::Vgg19 dense(dense_cfg, rng);
+  const int64_t dense_params = dense.num_params();
+
+  metrics::Table t({"method", "# params (effective)", "fraction removed",
+                    "test acc (%)", "cumulative time (s)"});
+  for (const auto& r : lth)
+    t.add_row({"LTH round " + std::to_string(r.round),
+               metrics::fmt_int(r.remaining_params),
+               metrics::fmt(100.0 * (1.0 - static_cast<double>(r.remaining_params) /
+                                               dense_params),
+                            1) + "%",
+               metrics::fmt(100 * r.test_acc, 2),
+               metrics::fmt(r.cumulative_seconds, 1)});
+  t.add_row({"Pufferfish (one run)", metrics::fmt_int(pf.params),
+             metrics::fmt(100.0 * (1.0 - static_cast<double>(pf.params) /
+                                             dense_params),
+                          1) + "%",
+             metrics::fmt(100 * pf.final_acc, 2),
+             metrics::fmt(pf_seconds, 1)});
+  t.print();
+
+  // Find the first LTH round whose compression matches Pufferfish's.
+  double lth_time_at_match = lth.back().cumulative_seconds;
+  for (const auto& r : lth)
+    if (r.remaining_params <= pf.params) {
+      lth_time_at_match = r.cumulative_seconds;
+      break;
+    }
+  std::printf(
+      "\nClaim check (paper: 5.67x more time for LTH at equal compression): "
+      "to remove at least as many parameters as Pufferfish, LTH needed "
+      "%.1f s vs Pufferfish's %.1f s -> %.2fx.\n",
+      lth_time_at_match, pf_seconds, lth_time_at_match / pf_seconds);
+  return 0;
+}

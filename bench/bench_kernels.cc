@@ -1,0 +1,156 @@
+// Kernel microbenchmarks (google-benchmark): the primitive operations the
+// paper's runtime results bottom out in -- GEMM at the paper's layer shapes,
+// im2col convolution (dense vs factorized), truncated SVD (Gram-Jacobi vs
+// tred2/tqli vs randomized), and compressor encode/decode throughput.
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.h"
+#include "linalg/svd.h"
+#include "nn/layers.h"
+#include "tensor/matmul.h"
+
+using namespace pf;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.randn(Shape{n, n});
+  Tensor b = rng.randn(Shape{n, n});
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNt(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = rng.randn(Shape{n, n});
+  Tensor b = rng.randn(Shape{n, n});
+  for (auto _ : state) {
+    Tensor c = matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNt)->Arg(128)->Arg(256);
+
+// Dense vs factorized conv at the paper's 512->512 3x3 shape (scaled 1/8).
+void BM_ConvDense(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(64, 64, 3, 1, 1, rng);
+  Tensor x = rng.randn(Shape{4, 64, 8, 8});
+  ag::NoGradGuard ng;
+  for (auto _ : state) {
+    ag::Var y = conv.forward(ag::leaf(x));
+    benchmark::DoNotOptimize(y->value.data());
+  }
+}
+BENCHMARK(BM_ConvDense);
+
+void BM_ConvFactorized(benchmark::State& state) {
+  Rng rng(4);
+  nn::LowRankConv2d conv(64, 64, 3, 1, 1, 16, rng);
+  Tensor x = rng.randn(Shape{4, 64, 8, 8});
+  ag::NoGradGuard ng;
+  for (auto _ : state) {
+    ag::Var y = conv.forward(ag::leaf(x));
+    benchmark::DoNotOptimize(y->value.data());
+  }
+}
+BENCHMARK(BM_ConvFactorized);
+
+// SVD engines on a conv-shaped unrolled matrix (576 x 512, rank 128).
+void BM_SvdGram(benchmark::State& state) {
+  Rng rng(5);
+  Tensor a = rng.randn(Shape{576, 512});
+  for (auto _ : state) {
+    auto r = linalg::gram_svd(a, 128);
+    benchmark::DoNotOptimize(r.s.data());
+  }
+}
+BENCHMARK(BM_SvdGram);
+
+void BM_SvdRandomized(benchmark::State& state) {
+  Rng rng(6);
+  Tensor a = rng.randn(Shape{576, 512});
+  Rng seed(7);
+  for (auto _ : state) {
+    auto r = linalg::randomized_svd(a, 128, seed);
+    benchmark::DoNotOptimize(r.s.data());
+  }
+}
+BENCHMARK(BM_SvdRandomized);
+
+void BM_EighJacobiVsTridiag(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor m = rng.randn(Shape{n, n});
+  Tensor a = matmul_tn(m, m);
+  const bool tridiag = state.range(1) == 1;
+  for (auto _ : state) {
+    auto r = tridiag ? linalg::tridiag_eigh(a) : linalg::jacobi_eigh(a);
+    benchmark::DoNotOptimize(r.values.data());
+  }
+}
+BENCHMARK(BM_EighJacobiVsTridiag)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+// Compressor encode+decode throughput on a 1M-element gradient.
+template <typename MakeReducer>
+void reducer_bench(benchmark::State& state, MakeReducer make) {
+  Rng rng(9);
+  const int64_t n = 1 << 20;
+  std::vector<Tensor> grads = {rng.randn(Shape{n}), rng.randn(Shape{n})};
+  std::vector<Shape> shapes = {Shape{1024, 1024}};
+  auto reducer = make();
+  compress::ReduceStats stats;
+  for (auto _ : state) {
+    Tensor agg = reducer->reduce(grads, shapes, &stats);
+    benchmark::DoNotOptimize(agg.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+
+void BM_ReduceAllreduce(benchmark::State& state) {
+  reducer_bench(state,
+                [] { return std::make_unique<compress::AllreduceReducer>(); });
+}
+BENCHMARK(BM_ReduceAllreduce);
+
+void BM_ReducePowerSgd(benchmark::State& state) {
+  reducer_bench(state, [] {
+    return std::make_unique<compress::PowerSgdReducer>(4, 1);
+  });
+}
+BENCHMARK(BM_ReducePowerSgd);
+
+void BM_ReduceSignum(benchmark::State& state) {
+  reducer_bench(state,
+                [] { return std::make_unique<compress::SignumReducer>(); });
+}
+BENCHMARK(BM_ReduceSignum);
+
+void BM_ReduceBinaryQuant(benchmark::State& state) {
+  reducer_bench(state, [] {
+    return std::make_unique<compress::BinaryQuantReducer>(3);
+  });
+}
+BENCHMARK(BM_ReduceBinaryQuant);
+
+void BM_ReduceTopK(benchmark::State& state) {
+  reducer_bench(state,
+                [] { return std::make_unique<compress::TopKReducer>(0.01); });
+}
+BENCHMARK(BM_ReduceTopK);
+
+}  // namespace
+
+BENCHMARK_MAIN();

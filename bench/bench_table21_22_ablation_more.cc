@@ -1,0 +1,100 @@
+// Appendix L, Tables 21/22: the mitigation ablation on the remaining two
+// vision settings -- ResNet-50 on ImageNet (Table 21) and VGG-19-BN on
+// CIFAR-10 (Table 22).
+// Arms: fully low-rank from scratch / hybrid without warm-up / hybrid with
+// warm-up. Paper orderings: 71.03 < 75.85 < 76.43 (R50 top-1) and
+// 93.34 < 93.53 < 93.89 (VGG).
+#include "common.h"
+
+using namespace bench;
+
+namespace {
+
+struct ArmSpec {
+  std::string name;
+  // Hybrid factory per arm; null = use vanilla reference instead.
+  core::VisionModelFactory hybrid;
+  int warmup;
+};
+
+void run_table(const std::string& title,
+               const core::VisionModelFactory& vanilla,
+               const std::vector<ArmSpec>& arms,
+               const data::SyntheticImages& ds,
+               const core::VisionTrainConfig& base_cfg,
+               const std::vector<std::string>& paper_acc, int seeds) {
+  std::printf("%s\n", title.c_str());
+  metrics::Table t({"method", "top-1 (%)", "top-5 (%)", "paper top-1"});
+  for (size_t a = 0; a < arms.size(); ++a) {
+    std::vector<double> top1, top5;
+    for (int s = 0; s < seeds; ++s) {
+      core::VisionTrainConfig cfg = base_cfg;
+      cfg.warmup_epochs = arms[a].warmup;
+      cfg.seed = static_cast<uint64_t>(s);
+      core::VisionResult r =
+          core::train_vision(vanilla, arms[a].hybrid, ds, cfg);
+      top1.push_back(100 * r.final_acc);
+      top5.push_back(100 * r.final_top5);
+    }
+    t.add_row({arms[a].name, cell(top1), cell(top5), paper_acc[a]});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("Tables 21/22 (appendix L): mitigation ablations, ResNet-50 & VGG",
+         "Pufferfish Tables 21 and 22",
+         "ImageNet/CIFAR-10 -> synthetic tasks, width-scaled models");
+
+  {
+    // Table 21: ResNet-50 on the ImageNet-like task (1 seed: the paper's
+    // Table 21 is also single-run).
+    data::SyntheticImages ds = imagenet_like(160, 80);
+    auto lowrank_all = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+      // "Low-rank ResNet-50": every bottleneck stage factorized.
+      models::ResNetImageNetConfig c;
+      c.width_mult = 0.125;
+      c.num_classes = 20;
+      c.factorize_all = true;
+      c.rank_ratio = 0.25;
+      c.input_hw = 32;
+      return std::make_unique<models::ResNet50>(c, rng);
+    };
+    std::vector<ArmSpec> arms = {
+        {"Low-rank ResNet-50 (scratch)", lowrank_all, 0},
+        {"Hybrid ResNet-50 (wo. warm-up)", make_resnet50(0.125, true, 20), 0},
+        {"Hybrid ResNet-50 (w. warm-up)", make_resnet50(0.125, true, 20), 2},
+    };
+    // 12-epoch budget; the warm-up arm switches at epoch 5 (after the
+    // scaled ResNet-50's take-off) -- switching earlier factorizes
+    // near-random weights, the same effect Figure 3(b) charts.
+    arms[2].warmup = 5;
+    run_table("Table 21: ResNet-50 / ImageNet-like",
+              make_resnet50(0.125, false, 20), arms, ds,
+              imagenet_recipe(12, 0),
+              {"71.03", "75.85", "76.43"}, /*seeds=*/1);
+  }
+
+  {
+    // Table 22: VGG-19 on the CIFAR-like task (paper: 3 seeds; we run 2 to
+    // stay inside the CPU budget).
+    data::SyntheticImages ds = cifar_like();
+    std::vector<ArmSpec> arms = {
+        {"Low-rank VGG-19 (scratch)", make_vgg(0.125, 2), 0},
+        {"Hybrid VGG-19 (wo. warm-up)", make_vgg(0.125, 10), 0},
+        {"Hybrid VGG-19 (w. warm-up)", make_vgg(0.125, 10), 13},
+    };
+    run_table("Table 22: VGG-19-BN / CIFAR-like", make_vgg(0.125, 0), arms,
+              ds, vgg_long_recipe(),
+              {"93.34 +- 0.08", "93.53 +- 0.13", "93.89 +- 0.14"},
+              /*seeds=*/2);
+  }
+
+  std::printf(
+      "Claim check: both tables should reproduce the paper's ordering "
+      "scratch <= hybrid <= hybrid+warm-up.\n");
+  return 0;
+}

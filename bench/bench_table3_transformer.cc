@@ -1,0 +1,88 @@
+// Table 3: vanilla vs Pufferfish 6-layer Transformer on WMT16 De-En.
+//
+// Part A: exact paper-size parameter counts (48,978,432 vs 26,696,192).
+// Part B: behavioral reproduction on the synthetic translation task --
+// the factorized Transformer should match or beat the vanilla one on
+// validation perplexity / BLEU (the paper attributes this to implicit
+// regularization), at roughly half the parameters. 3 seeds.
+#include "common.h"
+
+#include <cmath>
+
+using namespace bench;
+
+int main() {
+  banner("Table 3: Transformer on WMT16",
+         "Pufferfish Table 3 (Section 4.2)",
+         "WMT16 -> synthetic transduction pairs; paper-size counts exact");
+
+  {
+    Rng rng(1);
+    models::TransformerMT vanilla(models::TransformerConfig::paper_vanilla(),
+                                  rng);
+    models::TransformerMT pf(models::TransformerConfig::paper_pufferfish(),
+                             rng);
+    metrics::Table t({"metric", "vanilla (paper)", "vanilla (ours)",
+                      "Pufferfish (paper)", "Pufferfish (ours)"});
+    t.add_row({"# params", "48,978,432",
+               metrics::fmt_int(vanilla.num_params()), "26,696,192",
+               metrics::fmt_int(pf.num_params())});
+    t.print();
+  }
+
+  std::printf("\nTraining at synthetic scale (3 seeds, mean +- std):\n\n");
+  data::SyntheticTranslation::Config tc;
+  tc.train_pairs = 160;
+  tc.test_pairs = 32;
+  tc.min_len = 3;
+  tc.max_len = 5;
+  tc.vocab = 32;
+  data::SyntheticTranslation ds(tc);
+
+  auto factory = [](int first_lowrank) {
+    return [first_lowrank](Rng& rng) {
+      models::TransformerConfig c = models::TransformerConfig::tiny(first_lowrank);
+      c.vocab = 32;
+      c.dm = 48;
+      c.heads = 4;
+      return std::make_unique<models::TransformerMT>(c, rng);
+    };
+  };
+
+  std::vector<double> v_train, v_val, v_bleu, p_train, p_val, p_bleu;
+  int64_t v_params = 0, p_params = 0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    core::MtTrainConfig cfg;
+    cfg.epochs = 32;
+    cfg.warmup_epochs = 3;
+    cfg.batch = 16;
+    cfg.seed = seed;
+    core::MtResult rv = core::train_mt(factory(0), nullptr, ds, cfg);
+    core::MtResult rp = core::train_mt(factory(0), factory(2), ds, cfg);
+    v_train.push_back(rv.train_ppl);
+    v_val.push_back(rv.val_ppl);
+    v_bleu.push_back(rv.bleu);
+    p_train.push_back(rp.train_ppl);
+    p_val.push_back(rp.val_ppl);
+    p_bleu.push_back(rp.bleu);
+    v_params = rv.params;
+    p_params = rp.params;
+  }
+
+  metrics::Table t(
+      {"metric", "vanilla Transformer", "Pufferfish Transformer"});
+  t.add_row({"# params", metrics::fmt_int(v_params),
+             metrics::fmt_int(p_params)});
+  t.add_row({"train ppl", cell(v_train), cell(p_train)});
+  t.add_row({"val ppl", cell(v_val), cell(p_val)});
+  t.add_row({"val BLEU", cell(v_bleu), cell(p_bleu)});
+  t.print();
+
+  std::printf(
+      "\nClaim check (paper: Pufferfish val ppl 7.34 vs 11.88 and BLEU "
+      "26.87 vs 19.05 -- factorized wins): our factorized model is %.2fx "
+      "smaller; val ppl %s vs %s, BLEU %s vs %s.\n",
+      static_cast<double>(v_params) / p_params, cell(p_val).c_str(),
+      cell(v_val).c_str(), cell(p_bleu).c_str(), cell(v_bleu).c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Table 5: ResNet-50 and WideResNet-50-2 on ImageNet -- params, top-1/top-5
+// accuracy, MACs.
+//
+// Part A: paper-size parameter/MAC accounting (Pufferfish ResNet-50 lands
+// exactly on 15,202,344; compression ratios 1.68x / 1.72x match the paper's
+// limitations paragraph). Part B: scaled training on the synthetic
+// ImageNet-like task with the paper's recipe shape (label smoothing 0.1,
+// three-step decay, E_wu = 10/90 of the budget).
+#include "common.h"
+
+using namespace bench;
+
+int main() {
+  banner("Table 5: ResNet-50 / WideResNet-50-2 on ImageNet",
+         "Pufferfish Table 5 (Section 4.2)",
+         "ImageNet -> synthetic 20-class 32x32 images; width-scaled models");
+
+  {
+    Rng rng(1);
+    models::ResNet50 rv(models::ResNetImageNetConfig::resnet50_vanilla(), rng);
+    models::ResNet50 rp(models::ResNetImageNetConfig::resnet50_pufferfish(),
+                        rng);
+    models::ResNet50 wv(models::ResNetImageNetConfig::wrn50_vanilla(), rng);
+    models::ResNet50 wp(models::ResNetImageNetConfig::wrn50_pufferfish(), rng);
+    metrics::Table t({"model (paper scale)", "# params", "MACs G @224",
+                      "compression"});
+    t.add_row({"Vanilla ResNet-50", metrics::fmt_int(rv.num_params()),
+               metrics::fmt(rv.forward_macs(224, 224) / 1e9, 2), "-"});
+    t.add_row({"Pufferfish ResNet-50", metrics::fmt_int(rp.num_params()),
+               metrics::fmt(rp.forward_macs(224, 224) / 1e9, 2),
+               metrics::fmt_ratio(static_cast<double>(rv.num_params()) /
+                                  rp.num_params()) +
+                   " (paper: 1.68x)"});
+    t.add_row({"Vanilla WRN-50-2", metrics::fmt_int(wv.num_params()),
+               metrics::fmt(wv.forward_macs(224, 224) / 1e9, 2), "-"});
+    t.add_row({"Pufferfish WRN-50-2", metrics::fmt_int(wp.num_params()),
+               metrics::fmt(wp.forward_macs(224, 224) / 1e9, 2),
+               metrics::fmt_ratio(static_cast<double>(wv.num_params()) /
+                                  wp.num_params()) +
+                   " (paper: 1.72x)"});
+    t.print();
+    std::printf(
+        "\nPaper Table 7 row check: Pufferfish ResNet-50 params 15,202,344 "
+        "(ours: %s), MACs 3.6 G (ours: %s G).\n\n",
+        metrics::fmt_int(rp.num_params()).c_str(),
+        metrics::fmt(rp.forward_macs(224, 224) / 1e9, 2).c_str());
+  }
+
+  std::printf("Scaled training runs (top-1 / top-5 over the 20-class "
+              "ImageNet-like task):\n\n");
+  data::SyntheticImages ds = imagenet_like(160, 80);
+
+  struct Arm {
+    std::string name;
+    bool wide, factorized, amp;
+    int seeds;
+  };
+  const std::vector<Arm> arms = {
+      {"Vanilla ResNet-50 (FP32)", false, false, false, 2},
+      {"Pufferfish ResNet-50 (FP32)", false, true, false, 2},
+      {"Vanilla ResNet-50 (AMP)", false, false, true, 2},
+      {"Pufferfish ResNet-50 (AMP)", false, true, true, 2},
+      {"Vanilla WRN-50-2 (FP32)", true, false, false, 1},
+      {"Pufferfish WRN-50-2 (FP32)", true, true, false, 1},
+  };
+
+  metrics::Table t({"model", "# params", "top-1 (%)", "top-5 (%)"});
+  for (const Arm& arm : arms) {
+    std::vector<double> top1, top5;
+    int64_t params = 0;
+    for (int s = 0; s < arm.seeds; ++s) {
+      core::VisionTrainConfig cfg =
+          imagenet_recipe(/*epochs=*/9, /*warmup=*/2,
+                          static_cast<uint64_t>(s));
+      cfg.amp = arm.amp;
+      core::VisionModelFactory vanilla =
+          make_resnet50(0.125, false, 20, arm.wide);
+      core::VisionModelFactory hybrid =
+          arm.factorized ? make_resnet50(0.125, true, 20, arm.wide)
+                         : core::VisionModelFactory{};
+      core::VisionResult r = core::train_vision(vanilla, hybrid, ds, cfg);
+      top1.push_back(100 * r.final_acc);
+      top5.push_back(100 * r.final_top5);
+      params = r.params;
+    }
+    t.add_row({arm.name, metrics::fmt_int(params), cell(top1), cell(top5)});
+  }
+  t.print();
+  std::printf(
+      "\nClaim check (paper: Pufferfish top-1 within ~0.4%% of vanilla on "
+      "both models, stable under AMP): at this tiny test-set size one "
+      "sample is 1%%, so expect several points of seed noise -- the claim "
+      "is that the factorized arms sit in the same band as vanilla, not "
+      "below it, while carrying ~40%% fewer conv5_x parameters.\n");
+  return 0;
+}

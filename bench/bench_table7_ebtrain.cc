@@ -1,0 +1,93 @@
+// Table 7: Pufferfish hybrid vs Early-Bird Ticket structured pruning
+// (EB Train) at prune ratios 30/50/70% -- params, top-1/top-5, MACs.
+//
+// The paper runs this on ResNet-50/ImageNet with EB numbers taken from You
+// et al.; channel pruning composes cleanly with plain conv-BN chains, so our
+// scaled reproduction uses VGG-19 on the ImageNet-like task (see DESIGN.md)
+// and checks the *shape*: EB models get smaller as pr grows but lose
+// accuracy, while Pufferfish sits at comparable size with better accuracy.
+#include "common.h"
+
+#include "baselines/eb_train.h"
+
+using namespace bench;
+
+int main() {
+  banner("Table 7: Pufferfish vs EB Train (structured pruning)",
+         "Pufferfish Table 7 (Section 4.2)",
+         "ResNet-50/ImageNet -> width-scaled VGG-19 on synthetic 20-class "
+         "task; EB rebuild -> soft pruning + effective-slim-network "
+         "accounting");
+
+  std::printf("Paper-scale reference rows (ImageNet, from the paper):\n");
+  {
+    metrics::Table t({"model", "# params", "top-1", "top-5", "MACs G"});
+    t.add_row({"vanilla ResNet-50", "25,610,205", "75.99%", "92.98%", "4.12"});
+    t.add_row({"Pufferfish ResNet-50", "15,202,344", "75.62%", "92.55%",
+               "3.6"});
+    t.add_row({"EB Train (pr=30%)", "16,466,787", "73.86%", "91.52%", "2.8"});
+    t.add_row({"EB Train (pr=50%)", "15,081,947", "73.35%", "91.36%", "2.37"});
+    t.add_row({"EB Train (pr=70%)", "7,882,503", "70.16%", "89.55%", "1.03"});
+    t.print();
+  }
+
+  std::printf("\nOur scaled reproduction (VGG-19 width 0.125, 20-class "
+              "synthetic task, same epoch budget per arm):\n\n");
+
+  data::SyntheticImages ds = cifar_like(20, 32, 160, 80, 0.35f, 23);
+  const int kEpochs = 22;
+
+  models::VggConfig mcfg;
+  mcfg.width_mult = 0.125;
+  mcfg.num_classes = 20;
+
+  metrics::Table t({"model", "# params", "top-1 (%)", "top-5 (%)",
+                    "fwd MACs (M)"});
+
+  // Vanilla and Pufferfish arms share the EB recipe (paper: same
+  // hyper-parameters as EB Train, no label smoothing, step decay).
+  {
+    core::VisionTrainConfig cfg = vgg_long_recipe();
+    core::VisionResult rv = core::train_vision(
+        make_vgg(0.125, 0, 20), nullptr, ds, cfg);
+    Rng rng(1);
+    models::Vgg19 vm(mcfg, rng);
+    t.add_row({"vanilla VGG-19", metrics::fmt_int(rv.params),
+               metrics::fmt(100 * rv.final_acc, 2),
+               metrics::fmt(100 * rv.final_top5, 2),
+               metrics::fmt(vm.forward_macs(32, 32) / 1e6, 1)});
+
+    core::VisionResult rp = core::train_vision(
+        make_vgg(0.125, 0, 20), make_vgg(0.125, 10, 20), ds,
+        vgg_long_recipe());
+    models::VggConfig pcfg = mcfg;
+    pcfg.k_first_lowrank = 10;
+    models::Vgg19 pm(pcfg, rng);
+    t.add_row({"Pufferfish VGG-19", metrics::fmt_int(rp.params),
+               metrics::fmt(100 * rp.final_acc, 2),
+               metrics::fmt(100 * rp.final_top5, 2),
+               metrics::fmt(pm.forward_macs(32, 32) / 1e6, 1)});
+  }
+
+  for (double pr : {0.3, 0.5, 0.7}) {
+    baselines::EbConfig cfg;
+    cfg.prune_ratio = pr;
+    cfg.max_search_epochs = 4;
+    cfg.inner = vgg_long_recipe(0);
+    (void)kEpochs;
+    baselines::EbResult r = baselines::run_eb_train(mcfg, ds, cfg);
+    t.add_row({"EB Train (pr=" + metrics::fmt(100 * pr, 0) + "%)",
+               metrics::fmt_int(r.effective_params),
+               metrics::fmt(100 * r.test_acc, 2),
+               metrics::fmt(100 * r.test_top5, 2),
+               metrics::fmt(r.effective_macs / 1e6, 1)});
+  }
+  t.print();
+
+  std::printf(
+      "\nClaim check (paper: Pufferfish has 1.3M fewer params than EB "
+      "pr=30%% yet 1.76%% higher top-1): in our reproduction Pufferfish "
+      "should match or beat the EB arms' accuracy at a comparable or "
+      "smaller size, with EB accuracy degrading as pr grows.\n");
+  return 0;
+}

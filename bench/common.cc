@@ -1,0 +1,108 @@
+#include "common.h"
+
+#include <cstdio>
+
+namespace bench {
+
+data::SyntheticImages cifar_like(int64_t classes, int64_t hw, int64_t train,
+                                 int64_t test, float noise, uint64_t seed) {
+  data::SyntheticImages::Config c;
+  c.num_classes = classes;
+  c.hw = hw;
+  c.train_size = train;
+  c.test_size = test;
+  c.noise = noise;
+  c.seed = seed;
+  return data::SyntheticImages(c);
+}
+
+data::SyntheticImages imagenet_like(int64_t train, int64_t test) {
+  return cifar_like(/*classes=*/20, /*hw=*/32, train, test, /*noise=*/0.35f,
+                    /*seed=*/23);
+}
+
+core::VisionModelFactory make_vgg(double width, int k_first_lowrank,
+                                  int64_t classes) {
+  return [=](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::VggConfig cfg;
+    cfg.width_mult = width;
+    cfg.k_first_lowrank = k_first_lowrank;
+    cfg.num_classes = classes;
+    return std::make_unique<models::Vgg19>(cfg, rng);
+  };
+}
+
+core::VisionModelFactory make_resnet18(double width, int first_lowrank_block,
+                                       int64_t classes) {
+  return [=](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::ResNetCifarConfig cfg;
+    cfg.width_mult = width;
+    cfg.first_lowrank_block = first_lowrank_block;
+    cfg.num_classes = classes;
+    return std::make_unique<models::ResNet18Cifar>(cfg, rng);
+  };
+}
+
+core::VisionModelFactory make_resnet50(double width, bool factorize_stage4,
+                                       int64_t classes, bool wide) {
+  return [=](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::ResNetImageNetConfig cfg;
+    cfg.width_mult = width;
+    cfg.factorize_stage4 = factorize_stage4;
+    cfg.num_classes = classes;
+    cfg.wide = wide;
+    cfg.input_hw = 32;
+    return std::make_unique<models::ResNet50>(cfg, rng);
+  };
+}
+
+core::VisionTrainConfig vgg_recipe(int epochs, int warmup, uint64_t seed) {
+  core::VisionTrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.warmup_epochs = warmup;
+  cfg.batch = 32;
+  cfg.lr = 0.05f;
+  cfg.momentum = 0.9f;
+  cfg.weight_decay = 1e-4f;
+  // Paper: decay at 150/250 of 300 epochs -> similar fractions here.
+  cfg.lr_milestones = {(2 * epochs) / 3, (6 * epochs) / 7};
+  cfg.seed = seed;
+  return cfg;
+}
+
+core::VisionTrainConfig vgg_long_recipe(int warmup, uint64_t seed) {
+  core::VisionTrainConfig cfg = vgg_recipe(22, warmup, seed);
+  cfg.lr_milestones = {12, 19};
+  return cfg;
+}
+
+core::VisionTrainConfig resnet_recipe(int epochs, int warmup, uint64_t seed) {
+  core::VisionTrainConfig cfg = vgg_recipe(epochs, warmup, seed);
+  cfg.lr_milestones = {(3 * epochs) / 4};
+  return cfg;
+}
+
+core::VisionTrainConfig imagenet_recipe(int epochs, int warmup,
+                                        uint64_t seed) {
+  core::VisionTrainConfig cfg = vgg_recipe(epochs, warmup, seed);
+  // Paper: decay at 30/60/80 of 90 epochs; label smoothing 0.1.
+  cfg.lr_milestones = {epochs / 3, (2 * epochs) / 3, (8 * epochs) / 9};
+  cfg.label_smoothing = 0.1f;
+  return cfg;
+}
+
+void banner(const std::string& title, const std::string& paper_ref,
+            const std::string& substitution) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (!substitution.empty())
+    std::printf("substitution: %s\n", substitution.c_str());
+  std::printf("=====================================================\n\n");
+}
+
+std::string cell(const std::vector<double>& values, int precision) {
+  return metrics::fmt_mean_std(metrics::mean_std(values), precision);
+}
+
+}  // namespace bench

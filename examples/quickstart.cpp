@@ -1,0 +1,71 @@
+// Quickstart: the full Pufferfish workflow (Algorithm 1) on a small image
+// classification task, in ~60 lines of user code.
+//
+//   1. Define a vanilla model and its hybrid (partially factorized) twin.
+//   2. Train the vanilla model for a few warm-up epochs.
+//   3. warm_start() factorizes the trained weights via truncated SVD.
+//   4. Fine-tune the smaller, faster hybrid for the remaining epochs.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "metrics/metrics.h"
+#include "models/resnet.h"
+
+using namespace pf;
+
+int main() {
+  // A CIFAR-like synthetic dataset (32x32x3, 10 classes).
+  data::SyntheticImages::Config dc;
+  dc.num_classes = 10;
+  dc.hw = 16;
+  dc.train_size = 200;
+  dc.test_size = 100;
+  data::SyntheticImages dataset(dc);
+
+  // Model factories: the trainer instantiates them when needed. The hybrid
+  // ResNet-18 factorizes everything from the second basic block on at rank
+  // ratio 0.25, exactly like the paper's CIFAR-10 configuration.
+  auto make_vanilla = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::ResNetCifarConfig cfg;          // vanilla
+    cfg.width_mult = 0.125;                 // CPU-friendly width
+    return std::make_unique<models::ResNet18Cifar>(cfg, rng);
+  };
+  auto make_hybrid = [](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::ResNetCifarConfig cfg = models::ResNetCifarConfig::pufferfish();
+    cfg.width_mult = 0.125;
+    return std::make_unique<models::ResNet18Cifar>(cfg, rng);
+  };
+
+  core::VisionTrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.warmup_epochs = 2;  // E_wu: vanilla warm-up epochs
+  cfg.batch = 20;
+  cfg.lr = 0.05f;
+  cfg.lr_milestones = {6};
+
+  std::printf("== Pufferfish quickstart: ResNet-18 (scaled) ==\n\n");
+  core::VisionResult r =
+      core::train_vision(make_vanilla, make_hybrid, dataset, cfg);
+
+  metrics::Table table({"epoch", "phase", "train loss", "test acc"});
+  for (const core::EpochRecord& e : r.epochs)
+    table.add_row({std::to_string(e.epoch),
+                   e.low_rank_phase ? "low-rank" : "vanilla",
+                   metrics::fmt(e.train_loss, 3),
+                   metrics::fmt(100 * e.test_acc, 1) + "%"});
+  table.print();
+
+  Rng rng(0);
+  models::ResNetCifarConfig vcfg;
+  vcfg.width_mult = 0.125;
+  models::ResNet18Cifar vanilla(vcfg, rng);
+  std::printf(
+      "\nfinal accuracy %.1f%%; model %s params (vanilla twin: %s, %.2fx "
+      "smaller); one-time SVD cost %.3f s\n",
+      100 * r.final_acc, metrics::fmt_int(r.params).c_str(),
+      metrics::fmt_int(vanilla.num_params()).c_str(),
+      static_cast<double>(vanilla.num_params()) / r.params, r.svd_seconds);
+  return 0;
+}

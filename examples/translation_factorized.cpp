@@ -1,0 +1,55 @@
+// Seq2seq translation with a factorized Transformer (the paper's WMT16
+// task, Table 3, at synthetic scale): vanilla 2-layer encoder-decoder vs a
+// Pufferfish hybrid that keeps the first encoder/decoder layers dense.
+//
+// Build & run:  ./build/examples/translation_factorized
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "metrics/metrics.h"
+
+using namespace pf;
+
+int main() {
+  data::SyntheticTranslation::Config tc;
+  tc.train_pairs = 160;
+  tc.test_pairs = 32;
+  tc.min_len = 3;
+  tc.max_len = 5;
+  tc.vocab = 32;
+  data::SyntheticTranslation dataset(tc);
+
+  auto make = [](int first_lowrank) {
+    return [first_lowrank](Rng& rng) {
+      models::TransformerConfig c =
+          models::TransformerConfig::tiny(first_lowrank);
+      c.vocab = 32;
+      c.dm = 48;
+      c.heads = 4;
+      return std::make_unique<models::TransformerMT>(c, rng);
+    };
+  };
+
+  core::MtTrainConfig cfg;
+  cfg.epochs = 32;
+  cfg.warmup_epochs = 3;
+  cfg.batch = 16;
+
+  std::printf("== Transformer translation: vanilla vs Pufferfish ==\n\n");
+  core::MtResult vanilla = core::train_mt(make(0), nullptr, dataset, cfg);
+  core::MtResult pf = core::train_mt(make(0), make(2), dataset, cfg);
+
+  metrics::Table table(
+      {"model", "# params", "train ppl", "val ppl", "val BLEU"});
+  table.add_row({"vanilla Transformer", metrics::fmt_int(vanilla.params),
+                 metrics::fmt(vanilla.train_ppl, 2),
+                 metrics::fmt(vanilla.val_ppl, 2),
+                 metrics::fmt(vanilla.bleu, 2)});
+  table.add_row({"Pufferfish Transformer", metrics::fmt_int(pf.params),
+                 metrics::fmt(pf.train_ppl, 2), metrics::fmt(pf.val_ppl, 2),
+                 metrics::fmt(pf.bleu, 2)});
+  table.print();
+  std::printf("\n(the paper's Table 3 finds the factorized Transformer "
+              "generalizes as well or better -- implicit regularization)\n");
+  return 0;
+}

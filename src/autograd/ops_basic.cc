@@ -1,0 +1,216 @@
+// Arithmetic, activations, shape ops, and reductions.
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace pf::ag {
+
+namespace {
+
+// Builds the standard broadcast-aware binary-op node.
+template <typename Fwd, typename BwdA, typename BwdB>
+Var binary(const Var& a, const Var& b, Fwd fwd, BwdA bwd_a, BwdB bwd_b) {
+  Tensor out = fwd(a->value, b->value);
+  return make_node(std::move(out), {a, b},
+                   [bwd_a, bwd_b](Node& n) {
+                     const Var& a = n.inputs[0];
+                     const Var& b = n.inputs[1];
+                     if (a->requires_grad)
+                       a->accumulate(reduce_to_shape(
+                           bwd_a(n.grad, a->value, b->value), a->shape()));
+                     if (b->requires_grad)
+                       b->accumulate(reduce_to_shape(
+                           bwd_b(n.grad, a->value, b->value), b->shape()));
+                   });
+}
+
+template <typename Fwd, typename Bwd>
+Var unary(const Var& a, Fwd fwd, Bwd bwd) {
+  Tensor out = fwd(a->value);
+  return make_node(std::move(out), {a}, [bwd](Node& n) {
+    const Var& a = n.inputs[0];
+    if (a->requires_grad) a->accumulate(bwd(n.grad, a->value, n.value));
+  });
+}
+
+}  // namespace
+
+Var add(const Var& a, const Var& b) {
+  return binary(
+      a, b, [](const Tensor& x, const Tensor& y) { return x + y; },
+      [](const Tensor& g, const Tensor&, const Tensor&) { return g; },
+      [](const Tensor& g, const Tensor&, const Tensor&) { return g; });
+}
+
+Var sub(const Var& a, const Var& b) {
+  return binary(
+      a, b, [](const Tensor& x, const Tensor& y) { return x - y; },
+      [](const Tensor& g, const Tensor&, const Tensor&) { return g; },
+      [](const Tensor& g, const Tensor&, const Tensor&) { return -g; });
+}
+
+Var mul(const Var& a, const Var& b) {
+  return binary(
+      a, b, [](const Tensor& x, const Tensor& y) { return x * y; },
+      [](const Tensor& g, const Tensor&, const Tensor& y) { return g * y; },
+      [](const Tensor& g, const Tensor& x, const Tensor&) { return g * x; });
+}
+
+Var div(const Var& a, const Var& b) {
+  return binary(
+      a, b, [](const Tensor& x, const Tensor& y) { return x / y; },
+      [](const Tensor& g, const Tensor&, const Tensor& y) { return g / y; },
+      [](const Tensor& g, const Tensor& x, const Tensor& y) {
+        return -(g * x) / (y * y);
+      });
+}
+
+Var add_scalar(const Var& a, float s) {
+  return unary(
+      a, [s](const Tensor& x) { return x + s; },
+      [](const Tensor& g, const Tensor&, const Tensor&) { return g; });
+}
+
+Var mul_scalar(const Var& a, float s) {
+  return unary(
+      a, [s](const Tensor& x) { return x * s; },
+      [s](const Tensor& g, const Tensor&, const Tensor&) { return g * s; });
+}
+
+Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
+
+Var relu(const Var& a) {
+  return unary(
+      a,
+      [](const Tensor& x) {
+        Tensor o = x;
+        o.apply_([](float v) { return v > 0 ? v : 0.0f; });
+        return o;
+      },
+      [](const Tensor& g, const Tensor& x, const Tensor&) {
+        Tensor dx = g;
+        for (int64_t i = 0; i < dx.numel(); ++i)
+          if (x[i] <= 0.0f) dx[i] = 0.0f;
+        return dx;
+      });
+}
+
+Var sigmoid(const Var& a) {
+  return unary(
+      a,
+      [](const Tensor& x) {
+        Tensor o = x;
+        o.apply_([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+        return o;
+      },
+      [](const Tensor& g, const Tensor&, const Tensor& y) {
+        Tensor dx = g;
+        for (int64_t i = 0; i < dx.numel(); ++i)
+          dx[i] *= y[i] * (1.0f - y[i]);
+        return dx;
+      });
+}
+
+Var tanh(const Var& a) {
+  return unary(
+      a,
+      [](const Tensor& x) {
+        Tensor o = x;
+        o.apply_([](float v) { return std::tanh(v); });
+        return o;
+      },
+      [](const Tensor& g, const Tensor&, const Tensor& y) {
+        Tensor dx = g;
+        for (int64_t i = 0; i < dx.numel(); ++i) dx[i] *= 1.0f - y[i] * y[i];
+        return dx;
+      });
+}
+
+Var exp(const Var& a) {
+  return unary(
+      a, [](const Tensor& x) { return pf::exp(x); },
+      [](const Tensor& g, const Tensor&, const Tensor& y) { return g * y; });
+}
+
+Var log(const Var& a) {
+  return unary(
+      a, [](const Tensor& x) { return pf::log(x); },
+      [](const Tensor& g, const Tensor& x, const Tensor&) { return g / x; });
+}
+
+Var reshape(const Var& a, Shape shape) {
+  Tensor out = a->value.reshape(std::move(shape));
+  return make_node(std::move(out), {a}, [](Node& n) {
+    const Var& a = n.inputs[0];
+    if (a->requires_grad) a->accumulate(n.grad.reshape(a->shape()));
+  });
+}
+
+Var transpose(const Var& a, std::vector<int64_t> perm) {
+  Tensor out = a->value.transpose(perm);
+  // Inverse permutation for the backward pass.
+  std::vector<int64_t> inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
+  return make_node(std::move(out), {a}, [inv](Node& n) {
+    const Var& a = n.inputs[0];
+    if (a->requires_grad) a->accumulate(n.grad.transpose(inv));
+  });
+}
+
+Var concat(const std::vector<Var>& parts, int64_t axis) {
+  std::vector<Tensor> vals;
+  vals.reserve(parts.size());
+  for (const Var& p : parts) vals.push_back(p->value);
+  Tensor out = pf::concat(vals, axis);
+  const int64_t ax = axis < 0 ? axis + out.dim() : axis;
+  return make_node(std::move(out), parts, [ax](Node& n) {
+    int64_t offset = 0;
+    for (const Var& p : n.inputs) {
+      const int64_t len = p->value.size(ax);
+      if (p->requires_grad)
+        p->accumulate(pf::slice(n.grad, ax, offset, len));
+      offset += len;
+    }
+  });
+}
+
+Var slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
+  Tensor out = pf::slice(a->value, axis, start, len);
+  const int64_t ax = axis < 0 ? axis + a->value.dim() : axis;
+  return make_node(std::move(out), {a}, [ax, start](Node& n) {
+    const Var& a = n.inputs[0];
+    if (a->requires_grad)
+      a->accumulate(pad_slice(n.grad, a->shape(), ax, start));
+  });
+}
+
+Var sum_all(const Var& a) {
+  Tensor out = Tensor::scalar(a->value.sum());
+  return make_node(std::move(out), {a}, [](Node& n) {
+    const Var& a = n.inputs[0];
+    if (a->requires_grad)
+      a->accumulate(Tensor(a->shape(), n.grad[0]));
+  });
+}
+
+Var mean_all(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a->numel());
+  Tensor out = Tensor::scalar(a->value.sum() * inv);
+  return make_node(std::move(out), {a}, [inv](Node& n) {
+    const Var& a = n.inputs[0];
+    if (a->requires_grad)
+      a->accumulate(Tensor(a->shape(), n.grad[0] * inv));
+  });
+}
+
+Var add_constant(const Var& x, Tensor mask) {
+  Tensor out = x->value + mask;
+  return make_node(std::move(out), {x}, [](Node& n) {
+    const Var& x = n.inputs[0];
+    if (x->requires_grad)
+      x->accumulate(reduce_to_shape(n.grad, x->shape()));
+  });
+}
+
+}  // namespace pf::ag

@@ -1,0 +1,199 @@
+// Convolution and pooling. Convolution is computed with im2col + GEMM;
+// the backward pass recomputes the column matrix per sample instead of
+// caching it (it is cheap relative to the GEMMs and keeps peak memory at
+// one column buffer).
+#include <limits>
+#include <stdexcept>
+
+#include "autograd/ops.h"
+#include "tensor/matmul.h"
+
+namespace pf::ag {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
+
+}  // namespace
+
+Var conv2d(const Var& x, const Var& w, int64_t stride, int64_t pad) {
+  check(x->value.dim() == 4 && w->value.dim() == 4, "conv2d: 4-D x and w");
+  const int64_t n = x->value.size(0), c_in = x->value.size(1),
+                h = x->value.size(2), wd = x->value.size(3);
+  const int64_t c_out = w->value.size(0), k = w->value.size(2);
+  check(w->value.size(1) == c_in, "conv2d: channel mismatch");
+  check(w->value.size(3) == k, "conv2d: square kernels only");
+
+  const ConvGeom g{c_in, h, wd, k, stride, pad};
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow, patch = g.patch();
+
+  Tensor out(Shape{n, c_out, oh, ow});
+  // Weight viewed as (c_out, patch): PyTorch layout (c_out, c_in, k, k)
+  // flattens to exactly that row-major 2-D view.
+  std::vector<float> col(static_cast<size_t>(patch * spatial));
+  for (int64_t i = 0; i < n; ++i) {
+    im2col(x->value.data() + i * c_in * h * wd, g, col.data());
+    matmul_accum(w->value.data(), col.data(),
+                 out.data() + i * c_out * spatial, c_out, patch, spatial);
+  }
+
+  return make_node(std::move(out), {x, w}, [g, stride, pad](Node& nd) {
+    const Var& x = nd.inputs[0];
+    const Var& w = nd.inputs[1];
+    const int64_t n = x->value.size(0);
+    const int64_t c_in = g.c_in, h = g.h, wd = g.w;
+    const int64_t c_out = w->value.size(0);
+    const int64_t oh = g.out_h(), ow = g.out_w();
+    const int64_t spatial = oh * ow, patch = g.patch();
+    (void)stride;
+    (void)pad;
+
+    Tensor dw(w->shape());
+    Tensor dx(x->shape());
+    std::vector<float> col(static_cast<size_t>(patch * spatial));
+    std::vector<float> dcol(static_cast<size_t>(patch * spatial));
+    for (int64_t i = 0; i < n; ++i) {
+      const float* dy = nd.grad.data() + i * c_out * spatial;
+      if (w->requires_grad) {
+        im2col(x->value.data() + i * c_in * h * wd, g, col.data());
+        // dW (c_out, patch) += dY (c_out, spatial) @ col^T (spatial, patch).
+        // Equivalent: for each row pair, dot over spatial. Use matmul_nt on
+        // 2-D views.
+        Tensor dy_t(Shape{c_out, spatial},
+                    std::vector<float>(dy, dy + c_out * spatial));
+        Tensor col_t(Shape{patch, spatial}, col);
+        Tensor dwi = pf::matmul_nt(dy_t, col_t);  // (c_out, patch)
+        dw.add_(dwi.reshape(w->shape()));
+      }
+      if (x->requires_grad) {
+        // dcol = W^T (patch, c_out) @ dY (c_out, spatial).
+        std::fill(dcol.begin(), dcol.end(), 0.0f);
+        Tensor w2d = w->value.reshape(Shape{c_out, patch});
+        Tensor dy_t(Shape{c_out, spatial},
+                    std::vector<float>(dy, dy + c_out * spatial));
+        Tensor dcol_t = pf::matmul_tn(w2d, dy_t);  // (patch, spatial)
+        col2im(dcol_t.data(), g, dx.data() + i * c_in * h * wd);
+      }
+    }
+    if (w->requires_grad) w->accumulate(dw);
+    if (x->requires_grad) x->accumulate(dx);
+  });
+}
+
+Var maxpool2d(const Var& x, int64_t kernel, int64_t stride) {
+  check(x->value.dim() == 4, "maxpool2d: 4-D input");
+  const int64_t n = x->value.size(0), c = x->value.size(1),
+                h = x->value.size(2), w = x->value.size(3);
+  const int64_t oh = (h - kernel) / stride + 1, ow = (w - kernel) / stride + 1;
+  Tensor out(Shape{n, c, oh, ow});
+  // Flat index of each selected max, for the backward scatter.
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(n * c * oh * ow));
+  const float* src = x->value.data();
+  float* dst = out.data();
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = src + (i * c + ch) * h * w;
+      const int64_t base = (i * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy)
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t ky = 0; ky < kernel; ++ky)
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              const int64_t iy = oy * stride + ky, ix = ox * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = base + iy * w + ix;
+              }
+            }
+          dst[oi] = best;
+          (*argmax)[static_cast<size_t>(oi)] = best_idx;
+        }
+    }
+
+  return make_node(std::move(out), {x}, [argmax](Node& nd) {
+    const Var& x = nd.inputs[0];
+    if (!x->requires_grad) return;
+    Tensor dx(x->shape());
+    for (int64_t i = 0; i < nd.grad.numel(); ++i)
+      dx[(*argmax)[static_cast<size_t>(i)]] += nd.grad[i];
+    x->accumulate(dx);
+  });
+}
+
+Var global_avgpool(const Var& x) {
+  check(x->value.dim() == 4, "global_avgpool: 4-D input");
+  const int64_t n = x->value.size(0), c = x->value.size(1),
+                h = x->value.size(2), w = x->value.size(3);
+  const int64_t hw = h * w;
+  Tensor out(Shape{n, c});
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = x->value.data() + i * hw;
+    double acc = 0;
+    for (int64_t j = 0; j < hw; ++j) acc += plane[j];
+    out[i] = static_cast<float>(acc / static_cast<double>(hw));
+  }
+  return make_node(std::move(out), {x}, [hw](Node& nd) {
+    const Var& x = nd.inputs[0];
+    if (!x->requires_grad) return;
+    Tensor dx(x->shape());
+    const float inv = 1.0f / static_cast<float>(hw);
+    for (int64_t i = 0; i < nd.grad.numel(); ++i) {
+      float* plane = dx.data() + i * hw;
+      const float g = nd.grad[i] * inv;
+      for (int64_t j = 0; j < hw; ++j) plane[j] = g;
+    }
+    x->accumulate(dx);
+  });
+}
+
+Var avgpool2d(const Var& x, int64_t kernel, int64_t stride) {
+  check(x->value.dim() == 4, "avgpool2d: 4-D input");
+  const int64_t n = x->value.size(0), c = x->value.size(1),
+                h = x->value.size(2), w = x->value.size(3);
+  const int64_t oh = (h - kernel) / stride + 1, ow = (w - kernel) / stride + 1;
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  Tensor out(Shape{n, c, oh, ow});
+  const float* src = x->value.data();
+  float* dst = out.data();
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = src + i * h * w;
+    for (int64_t oy = 0; oy < oh; ++oy)
+      for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+        double acc = 0;
+        for (int64_t ky = 0; ky < kernel; ++ky)
+          for (int64_t kx = 0; kx < kernel; ++kx)
+            acc += plane[(oy * stride + ky) * w + ox * stride + kx];
+        dst[oi] = static_cast<float>(acc) * inv;
+      }
+  }
+  return make_node(std::move(out), {x}, [kernel, stride, inv](Node& nd) {
+    const Var& x = nd.inputs[0];
+    if (!x->requires_grad) return;
+    const int64_t n = x->value.size(0), c = x->value.size(1),
+                  h = x->value.size(2), w = x->value.size(3);
+    const int64_t oh = nd.value.size(2), ow = nd.value.size(3);
+    Tensor dx(x->shape());
+    int64_t oi = 0;
+    for (int64_t i = 0; i < n * c; ++i) {
+      float* plane = dx.data() + i * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy)
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          const float g = nd.grad[oi] * inv;
+          for (int64_t ky = 0; ky < kernel; ++ky)
+            for (int64_t kx = 0; kx < kernel; ++kx)
+              plane[(oy * stride + ky) * w + ox * stride + kx] += g;
+        }
+    }
+    x->accumulate(dx);
+  });
+}
+
+}  // namespace pf::ag

@@ -1,0 +1,120 @@
+// Softmax and the fused softmax-cross-entropy loss (with label smoothing and
+// ignore-index support). Fusing keeps the backward numerically simple:
+//   dlogits = (softmax - smoothed_onehot) / n_valid.
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "autograd/ops.h"
+
+namespace pf::ag {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
+
+// Numerically stable softmax of each length-d row of src into dst.
+void softmax_rows(const float* src, float* dst, int64_t rows, int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = src + r * d;
+    float* y = dst + r * d;
+    float mx = x[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    double sum = 0;
+    for (int64_t j = 0; j < d; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < d; ++j) y[j] *= inv;
+  }
+}
+
+}  // namespace
+
+Var softmax(const Var& a) {
+  const int64_t d = a->value.size(-1);
+  const int64_t rows = a->value.numel() / d;
+  Tensor out(a->shape());
+  softmax_rows(a->value.data(), out.data(), rows, d);
+  return make_node(std::move(out), {a}, [rows, d](Node& n) {
+    const Var& a = n.inputs[0];
+    if (!a->requires_grad) return;
+    // dx = y * (dy - sum_j(dy_j * y_j)) row-wise.
+    Tensor dx(a->shape());
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = n.value.data() + r * d;
+      const float* dy = n.grad.data() + r * d;
+      float* dd = dx.data() + r * d;
+      double dot = 0;
+      for (int64_t j = 0; j < d; ++j)
+        dot += static_cast<double>(dy[j]) * y[j];
+      for (int64_t j = 0; j < d; ++j)
+        dd[j] = y[j] * (dy[j] - static_cast<float>(dot));
+    }
+    a->accumulate(dx);
+  });
+}
+
+Var cross_entropy(const Var& logits, const std::vector<int64_t>& targets,
+                  float label_smoothing, int64_t ignore_index) {
+  check(logits->value.dim() == 2, "cross_entropy: (N, C) logits");
+  const int64_t n = logits->value.size(0), c = logits->value.size(1);
+  check(static_cast<int64_t>(targets.size()) == n,
+        "cross_entropy: target count");
+
+  auto probs = std::make_shared<Tensor>(Shape{n, c});
+  softmax_rows(logits->value.data(), probs->data(), n, c);
+
+  int64_t n_valid = 0;
+  double loss = 0;
+  const float eps = label_smoothing;
+  const float off = eps / static_cast<float>(c);
+  const float on = 1.0f - eps + off;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t t = targets[static_cast<size_t>(i)];
+    if (t == ignore_index) continue;
+    check(t >= 0 && t < c, "cross_entropy: target out of range");
+    ++n_valid;
+    const float* p = probs->data() + i * c;
+    // loss_i = -sum_j q_j log p_j with q = smoothed one-hot.
+    if (eps == 0.0f) {
+      loss += -std::log(std::max(p[t], 1e-12f));
+    } else {
+      double li = 0;
+      for (int64_t j = 0; j < c; ++j) {
+        const float q = (j == t) ? on : off;
+        li += -static_cast<double>(q) * std::log(std::max(p[j], 1e-12f));
+      }
+      loss += li;
+    }
+  }
+  check(n_valid > 0, "cross_entropy: all targets ignored");
+  Tensor out = Tensor::scalar(static_cast<float>(loss / n_valid));
+
+  auto tg = std::make_shared<std::vector<int64_t>>(targets);
+  return make_node(
+      std::move(out), {logits},
+      [probs, tg, n, c, on, off, eps, ignore_index, n_valid](Node& nd) {
+        const Var& logits = nd.inputs[0];
+        if (!logits->requires_grad) return;
+        Tensor dx(Shape{n, c});
+        const float scale = nd.grad[0] / static_cast<float>(n_valid);
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t t = (*tg)[static_cast<size_t>(i)];
+          if (t == ignore_index) continue;
+          const float* p = probs->data() + i * c;
+          float* d = dx.data() + i * c;
+          for (int64_t j = 0; j < c; ++j) {
+            const float q = (eps == 0.0f) ? (j == t ? 1.0f : 0.0f)
+                                          : (j == t ? on : off);
+            d[j] = scale * (p[j] - q);
+          }
+        }
+        logits->accumulate(dx);
+      });
+}
+
+}  // namespace pf::ag

@@ -1,0 +1,49 @@
+// Matrix-product ops. Adjoints:
+//   C = A B       => dA = dC B^T,  dB = A^T dC
+//   C = A B^T     => dA = dC B,    dB = dC^T A
+#include "autograd/ops.h"
+#include "tensor/matmul.h"
+
+namespace pf::ag {
+
+Var matmul(const Var& a, const Var& b) {
+  Tensor out = pf::matmul(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    const Var& a = n.inputs[0];
+    const Var& b = n.inputs[1];
+    if (a->requires_grad) a->accumulate(pf::matmul_nt(n.grad, b->value));
+    if (b->requires_grad) b->accumulate(pf::matmul_tn(a->value, n.grad));
+  });
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  Tensor out = pf::matmul_nt(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    const Var& a = n.inputs[0];
+    const Var& b = n.inputs[1];
+    if (a->requires_grad) a->accumulate(pf::matmul(n.grad, b->value));
+    if (b->requires_grad) b->accumulate(pf::matmul_tn(n.grad, a->value));
+  });
+}
+
+Var bmm(const Var& a, const Var& b) {
+  Tensor out = pf::bmm(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    const Var& a = n.inputs[0];
+    const Var& b = n.inputs[1];
+    if (a->requires_grad) a->accumulate(pf::bmm_nt(n.grad, b->value));
+    if (b->requires_grad) b->accumulate(pf::bmm_tn(a->value, n.grad));
+  });
+}
+
+Var bmm_nt(const Var& a, const Var& b) {
+  Tensor out = pf::bmm_nt(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    const Var& a = n.inputs[0];
+    const Var& b = n.inputs[1];
+    if (a->requires_grad) a->accumulate(pf::bmm(n.grad, b->value));
+    if (b->requires_grad) b->accumulate(pf::bmm_tn(n.grad, a->value));
+  });
+}
+
+}  // namespace pf::ag

@@ -1,0 +1,56 @@
+// Dropout and embedding lookup.
+#include <memory>
+#include <stdexcept>
+
+#include "autograd/ops.h"
+
+namespace pf::ag {
+
+Var dropout(const Var& x, float p, bool training, Rng& rng) {
+  if (!training || p <= 0.0f) return x;
+  if (p >= 1.0f) throw std::runtime_error("dropout: p must be < 1");
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<Tensor>(x->shape());
+  Tensor out(x->shape());
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const float m = rng.bernoulli(p) ? 0.0f : scale;
+    (*mask)[i] = m;
+    out[i] = x->value[i] * m;
+  }
+  return make_node(std::move(out), {x}, [mask](Node& n) {
+    const Var& x = n.inputs[0];
+    if (!x->requires_grad) return;
+    Tensor dx(x->shape());
+    for (int64_t i = 0; i < dx.numel(); ++i) dx[i] = n.grad[i] * (*mask)[i];
+    x->accumulate(dx);
+  });
+}
+
+Var embedding(const std::vector<int64_t>& ids, const Var& table) {
+  if (table->value.dim() != 2)
+    throw std::runtime_error("embedding: (V, D) table");
+  const int64_t v = table->value.size(0), d = table->value.size(1);
+  const int64_t len = static_cast<int64_t>(ids.size());
+  Tensor out(Shape{len, d});
+  for (int64_t i = 0; i < len; ++i) {
+    const int64_t id = ids[static_cast<size_t>(i)];
+    if (id < 0 || id >= v)
+      throw std::runtime_error("embedding: id out of range");
+    const float* row = table->value.data() + id * d;
+    std::copy(row, row + d, out.data() + i * d);
+  }
+  auto idv = std::make_shared<std::vector<int64_t>>(ids);
+  return make_node(std::move(out), {table}, [idv, d](Node& n) {
+    const Var& table = n.inputs[0];
+    if (!table->requires_grad) return;
+    Tensor dt(table->shape());
+    for (size_t i = 0; i < idv->size(); ++i) {
+      const float* g = n.grad.data() + static_cast<int64_t>(i) * d;
+      float* row = dt.data() + (*idv)[i] * d;
+      for (int64_t j = 0; j < d; ++j) row[j] += g[j];
+    }
+    table->accumulate(dt);
+  });
+}
+
+}  // namespace pf::ag

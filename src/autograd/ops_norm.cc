@@ -1,0 +1,216 @@
+// BatchNorm2d and LayerNorm.
+//
+// Both use the fused training-mode adjoint
+//   dx = (gamma / sigma) * (dy - mean(dy) - xhat * mean(dy * xhat))
+// which is exact for the batch statistics actually used in the forward pass.
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "autograd/ops.h"
+
+namespace pf::ag {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
+
+}  // namespace
+
+Var batchnorm2d(const Var& x, const Var& gamma, const Var& beta,
+                Tensor* running_mean, Tensor* running_var, bool training,
+                float momentum, float eps) {
+  check(x->value.dim() == 4, "batchnorm2d: 4-D input");
+  const int64_t n = x->value.size(0), c = x->value.size(1),
+                h = x->value.size(2), w = x->value.size(3);
+  check(gamma->value.numel() == c && beta->value.numel() == c,
+        "batchnorm2d: gamma/beta size");
+  const int64_t hw = h * w;
+  const int64_t m = n * hw;  // elements per channel
+
+  auto xhat = std::make_shared<Tensor>(x->shape());
+  auto inv_sigma = std::make_shared<Tensor>(Shape{c});
+
+  if (training) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      double mu = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = x->value.data() + (i * c + ch) * hw;
+        for (int64_t j = 0; j < hw; ++j) mu += plane[j];
+      }
+      mu /= static_cast<double>(m);
+      double var = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = x->value.data() + (i * c + ch) * hw;
+        for (int64_t j = 0; j < hw; ++j) {
+          const double d = plane[j] - mu;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(m);
+      const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+      (*inv_sigma)[ch] = is;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = x->value.data() + (i * c + ch) * hw;
+        float* xh = xhat->data() + (i * c + ch) * hw;
+        for (int64_t j = 0; j < hw; ++j)
+          xh[j] = (plane[j] - static_cast<float>(mu)) * is;
+      }
+      if (running_mean && running_var) {
+        // PyTorch uses the unbiased variance for the running buffer.
+        const double unbiased =
+            var * static_cast<double>(m) / std::max<int64_t>(1, m - 1);
+        (*running_mean)[ch] = (1 - momentum) * (*running_mean)[ch] +
+                              momentum * static_cast<float>(mu);
+        (*running_var)[ch] = (1 - momentum) * (*running_var)[ch] +
+                             momentum * static_cast<float>(unbiased);
+      }
+    }
+  } else {
+    check(running_mean && running_var, "batchnorm2d eval: running stats");
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float mu = (*running_mean)[ch];
+      const float is =
+          1.0f / std::sqrt((*running_var)[ch] + eps);
+      (*inv_sigma)[ch] = is;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = x->value.data() + (i * c + ch) * hw;
+        float* xh = xhat->data() + (i * c + ch) * hw;
+        for (int64_t j = 0; j < hw; ++j) xh[j] = (plane[j] - mu) * is;
+      }
+    }
+  }
+
+  Tensor out(x->shape());
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = gamma->value[ch], b = beta->value[ch];
+      const float* xh = xhat->data() + (i * c + ch) * hw;
+      float* o = out.data() + (i * c + ch) * hw;
+      for (int64_t j = 0; j < hw; ++j) o[j] = g * xh[j] + b;
+    }
+
+  return make_node(
+      std::move(out), {x, gamma, beta},
+      [xhat, inv_sigma, n, c, hw, m, training](Node& nd) {
+        const Var& x = nd.inputs[0];
+        const Var& gamma = nd.inputs[1];
+        const Var& beta = nd.inputs[2];
+        Tensor dgamma(Shape{c});
+        Tensor dbeta(Shape{c});
+        for (int64_t ch = 0; ch < c; ++ch) {
+          double dg = 0, db = 0;
+          for (int64_t i = 0; i < n; ++i) {
+            const float* dy = nd.grad.data() + (i * c + ch) * hw;
+            const float* xh = xhat->data() + (i * c + ch) * hw;
+            for (int64_t j = 0; j < hw; ++j) {
+              dg += static_cast<double>(dy[j]) * xh[j];
+              db += dy[j];
+            }
+          }
+          dgamma[ch] = static_cast<float>(dg);
+          dbeta[ch] = static_cast<float>(db);
+        }
+        if (gamma->requires_grad) gamma->accumulate(dgamma);
+        if (beta->requires_grad) beta->accumulate(dbeta);
+        if (!x->requires_grad) return;
+        Tensor dx(x->shape());
+        const float invm = 1.0f / static_cast<float>(m);
+        for (int64_t ch = 0; ch < c; ++ch) {
+          const float gis = gamma->value[ch] * (*inv_sigma)[ch];
+          const float mean_dy = dbeta[ch] * invm;
+          const float mean_dyxh = dgamma[ch] * invm;
+          for (int64_t i = 0; i < n; ++i) {
+            const float* dy = nd.grad.data() + (i * c + ch) * hw;
+            const float* xh = xhat->data() + (i * c + ch) * hw;
+            float* d = dx.data() + (i * c + ch) * hw;
+            if (training) {
+              for (int64_t j = 0; j < hw; ++j)
+                d[j] = gis * (dy[j] - mean_dy - xh[j] * mean_dyxh);
+            } else {
+              // Eval mode: statistics are constants.
+              for (int64_t j = 0; j < hw; ++j) d[j] = gis * dy[j];
+            }
+          }
+        }
+        x->accumulate(dx);
+      });
+}
+
+Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
+  const int64_t d = x->value.size(-1);
+  check(gamma->value.numel() == d && beta->value.numel() == d,
+        "layernorm: gamma/beta size");
+  const int64_t rows = x->value.numel() / d;
+
+  auto xhat = std::make_shared<Tensor>(x->shape());
+  auto inv_sigma = std::make_shared<Tensor>(Shape{rows});
+
+  Tensor out(x->shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x->value.data() + r * d;
+    float* xh = xhat->data() + r * d;
+    float* o = out.data() + r * d;
+    double mu = 0;
+    for (int64_t j = 0; j < d; ++j) mu += row[j];
+    mu /= static_cast<double>(d);
+    double var = 0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mu;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_sigma)[r] = is;
+    for (int64_t j = 0; j < d; ++j) {
+      xh[j] = (row[j] - static_cast<float>(mu)) * is;
+      o[j] = gamma->value[j] * xh[j] + beta->value[j];
+    }
+  }
+
+  return make_node(
+      std::move(out), {x, gamma, beta}, [xhat, inv_sigma, rows, d](Node& nd) {
+        const Var& x = nd.inputs[0];
+        const Var& gamma = nd.inputs[1];
+        const Var& beta = nd.inputs[2];
+        Tensor dgamma(Shape{d});
+        Tensor dbeta(Shape{d});
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* dy = nd.grad.data() + r * d;
+          const float* xh = xhat->data() + r * d;
+          for (int64_t j = 0; j < d; ++j) {
+            dgamma[j] += dy[j] * xh[j];
+            dbeta[j] += dy[j];
+          }
+        }
+        if (gamma->requires_grad) gamma->accumulate(dgamma);
+        if (beta->requires_grad) beta->accumulate(dbeta);
+        if (!x->requires_grad) return;
+        Tensor dx(x->shape());
+        const float invd = 1.0f / static_cast<float>(d);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* dy = nd.grad.data() + r * d;
+          const float* xh = xhat->data() + r * d;
+          float* dd = dx.data() + r * d;
+          double mean_gdy = 0, mean_gdyxh = 0;
+          for (int64_t j = 0; j < d; ++j) {
+            const double gdy = static_cast<double>(gamma->value[j]) * dy[j];
+            mean_gdy += gdy;
+            mean_gdyxh += gdy * xh[j];
+          }
+          mean_gdy *= invd;
+          mean_gdyxh *= invd;
+          const float is = (*inv_sigma)[r];
+          for (int64_t j = 0; j < d; ++j) {
+            const float gdy = gamma->value[j] * dy[j];
+            dd[j] = is * (gdy - static_cast<float>(mean_gdy) -
+                          xh[j] * static_cast<float>(mean_gdyxh));
+          }
+        }
+        x->accumulate(dx);
+      });
+}
+
+}  // namespace pf::ag

@@ -1,0 +1,92 @@
+#include "autograd/variable.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pf::ag {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+void Node::accumulate(const Tensor& g) {
+  if (g.shape() != value.shape())
+    throw std::runtime_error("Node::accumulate: grad shape " +
+                             shape_str(g.shape()) + " != value shape " +
+                             shape_str(value.shape()));
+  if (grad.empty()) {
+    grad = g;
+  } else {
+    grad.add_(g);
+  }
+}
+
+Var leaf(Tensor value, bool requires_grad) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+Var make_node(Tensor value, std::vector<Var> inputs,
+              std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  bool any = false;
+  if (g_grad_enabled)
+    for (const Var& in : inputs)
+      if (in && in->requires_grad) {
+        any = true;
+        break;
+      }
+  if (any) {
+    n->requires_grad = true;
+    n->inputs = std::move(inputs);
+    n->backward_fn = std::move(backward_fn);
+  }
+  return n;
+}
+
+void backward(const Var& root, Tensor seed) {
+  if (!root) throw std::runtime_error("backward: null root");
+  if (seed.empty()) {
+    if (root->numel() != 1)
+      throw std::runtime_error("backward: non-scalar root needs a seed grad");
+    seed = Tensor(root->shape(), 1.0f);
+  }
+  root->accumulate(seed);
+
+  // Iterative post-order topological sort (graphs can be deep: LSTM over
+  // long sequences would overflow the stack with recursion).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->inputs.size()) {
+      Node* child = node->inputs[idx].get();
+      ++idx;
+      if (child && child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Reverse topological: root last in post-order, so iterate backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->has_grad()) n->backward_fn(*n);
+  }
+}
+
+}  // namespace pf::ag

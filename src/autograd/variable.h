@@ -1,0 +1,66 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A `Var` is a shared handle to a tape node holding a value tensor, an
+// optional gradient, and a closure that propagates the node's gradient to
+// its inputs. Building the LSTM and Transformer backward passes by hand is
+// where reproductions usually go wrong; deriving them from a gradient-checked
+// tape keeps every architecture in the paper on the same verified path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pf::ag {
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Tensor value;
+  Tensor grad;  // empty until first accumulation
+  bool requires_grad = false;
+  std::vector<Var> inputs;
+  // Propagates this->grad into inputs' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  // Adds `g` (same shape as value) into this node's grad.
+  void accumulate(const Tensor& g);
+  bool has_grad() const { return !grad.empty(); }
+  void zero_grad() { grad = Tensor(); }
+  const Shape& shape() const { return value.shape(); }
+  int64_t numel() const { return value.numel(); }
+};
+
+// Leaf variable (parameter or input).
+Var leaf(Tensor value, bool requires_grad = false);
+
+// Interior node. `requires_grad` is inferred from inputs; if no input
+// requires grad (or grad mode is off), the tape edges are dropped so eval
+// forward passes hold no graph.
+Var make_node(Tensor value, std::vector<Var> inputs,
+              std::function<void(Node&)> backward_fn);
+
+// Run reverse-mode accumulation from `root`. If `seed` is empty the root
+// must be scalar and is seeded with 1.
+void backward(const Var& root, Tensor seed = {});
+
+// Is gradient taping currently enabled (thread-local)?
+bool grad_enabled();
+
+// RAII guard that disables taping in its scope (eval / inference).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace pf::ag

@@ -1,0 +1,173 @@
+#include "baselines/eb_train.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "optim/optim.h"
+
+namespace pf::baselines {
+
+namespace {
+
+struct ConvBn {
+  nn::Conv2d* conv = nullptr;
+  nn::BatchNorm2d* bn = nullptr;
+  bool pool_after = false;
+};
+
+// Walk the VGG feature stack collecting (conv, bn) pairs in order.
+std::vector<ConvBn> collect_conv_bn(models::Vgg19& model) {
+  std::vector<ConvBn> out;
+  nn::Module* features = model.children()[0];
+  ConvBn cur;
+  for (nn::Module* child : features->children()) {
+    const std::string t = child->type_name();
+    if (t == "Conv2d") {
+      cur = ConvBn{};
+      cur.conv = static_cast<nn::Conv2d*>(child);
+    } else if (t == "BatchNorm2d") {
+      cur.bn = static_cast<nn::BatchNorm2d*>(child);
+      out.push_back(cur);
+    } else if (t == "MaxPool2d" && !out.empty()) {
+      out.back().pool_after = true;
+    }
+  }
+  return out;
+}
+
+// Channel mask at prune ratio `pr` from global |gamma| ranking; at least one
+// channel per layer survives.
+std::vector<std::vector<uint8_t>> compute_mask(
+    const std::vector<ConvBn>& layers, double pr) {
+  std::vector<float> all;
+  for (const ConvBn& l : layers)
+    for (int64_t c = 0; c < l.bn->channels(); ++c)
+      all.push_back(std::fabs(l.bn->gamma->value[c]));
+  const int64_t cut = static_cast<int64_t>(all.size() * pr);
+  float threshold = -1.0f;
+  if (cut > 0 && cut < static_cast<int64_t>(all.size())) {
+    std::nth_element(all.begin(), all.begin() + cut, all.end());
+    threshold = all[static_cast<size_t>(cut)];
+  }
+  std::vector<std::vector<uint8_t>> masks;
+  for (const ConvBn& l : layers) {
+    std::vector<uint8_t> m(static_cast<size_t>(l.bn->channels()), 0);
+    int64_t kept = 0;
+    int64_t best = 0;
+    for (int64_t c = 0; c < l.bn->channels(); ++c) {
+      const float g = std::fabs(l.bn->gamma->value[c]);
+      if (g >= threshold) {
+        m[static_cast<size_t>(c)] = 1;
+        ++kept;
+      }
+      if (g > std::fabs(l.bn->gamma->value[best])) best = c;
+    }
+    if (kept == 0) m[static_cast<size_t>(best)] = 1;
+    masks.push_back(std::move(m));
+  }
+  return masks;
+}
+
+double mask_distance(const std::vector<std::vector<uint8_t>>& a,
+                     const std::vector<std::vector<uint8_t>>& b) {
+  int64_t diff = 0, total = 0;
+  for (size_t l = 0; l < a.size(); ++l)
+    for (size_t c = 0; c < a[l].size(); ++c) {
+      diff += a[l][c] != b[l][c];
+      ++total;
+    }
+  return static_cast<double>(diff) / std::max<int64_t>(1, total);
+}
+
+void freeze_pruned(const std::vector<ConvBn>& layers,
+                   const std::vector<std::vector<uint8_t>>& masks) {
+  for (size_t l = 0; l < layers.size(); ++l)
+    for (size_t c = 0; c < masks[l].size(); ++c)
+      if (!masks[l][c]) {
+        layers[l].bn->gamma->value[static_cast<int64_t>(c)] = 0.0f;
+        layers[l].bn->beta->value[static_cast<int64_t>(c)] = 0.0f;
+      }
+}
+
+}  // namespace
+
+EbResult run_eb_train(const models::VggConfig& model_cfg,
+                      const data::SyntheticImages& ds, const EbConfig& cfg) {
+  metrics::Timer total;
+  Rng rng(cfg.inner.seed * 0x9E3779B9u + 211);
+  models::Vgg19 model(model_cfg, rng);
+  auto layers = collect_conv_bn(model);
+  auto params = model.parameters();
+
+  optim::SGD opt(params, cfg.inner.lr, cfg.inner.momentum,
+                 cfg.inner.weight_decay);
+  const optim::StepDecay sched(cfg.inner.lr, cfg.inner.lr_milestones,
+                               cfg.inner.lr_factor);
+
+  EbResult result;
+  std::vector<std::vector<uint8_t>> prev_mask, final_mask;
+  bool ticket_drawn = false;
+
+  for (int epoch = 0; epoch < cfg.inner.epochs; ++epoch) {
+    opt.set_lr(sched.at_epoch(epoch));
+    model.train(true);
+    for (const data::ImageBatch& b :
+         ds.train_batches(cfg.inner.batch, epoch)) {
+      model.zero_grad();
+      ag::Var logits = model.forward(ag::leaf(b.images));
+      ag::Var loss =
+          ag::cross_entropy(logits, b.labels, cfg.inner.label_smoothing);
+      ag::backward(loss);
+      opt.step();
+      if (ticket_drawn) freeze_pruned(layers, final_mask);
+    }
+    if (!ticket_drawn) {
+      auto mask = compute_mask(layers, cfg.prune_ratio);
+      const bool stable =
+          !prev_mask.empty() &&
+          mask_distance(mask, prev_mask) < cfg.mask_distance_threshold;
+      if (stable || epoch + 1 >= cfg.max_search_epochs) {
+        result.ticket_epoch = epoch;
+        final_mask = mask;
+        ticket_drawn = true;
+        freeze_pruned(layers, final_mask);
+      }
+      prev_mask = std::move(mask);
+    }
+  }
+
+  const core::EvalResult ev =
+      core::evaluate_vision(model, ds, cfg.inner.batch);
+  result.test_acc = ev.acc;
+  result.test_top5 = ev.top5;
+
+  // Effective slim-network parameters and MACs implied by the channel mask.
+  int64_t in_ch = 3;  // network input channels
+  int64_t hw = 32;
+  int64_t p = 0, macs = 0;
+  for (size_t l = 0; l < layers.size(); ++l) {
+    int64_t out_ch = 0;
+    for (uint8_t m : final_mask[l]) out_ch += m;
+    p += in_ch * out_ch * 9 + 2 * out_ch;        // conv + BN
+    macs += in_ch * out_ch * 9 * hw * hw;
+    if (layers[l].pool_after) hw /= 2;
+    in_ch = out_ch;
+  }
+  // Classifier: first FC consumes the surviving channels.
+  nn::Module* classifier = model.children()[1];
+  int64_t fc_in = in_ch;
+  for (nn::Module* child : classifier->children()) {
+    if (child->type_name() != "Linear") continue;
+    auto* fc = static_cast<nn::Linear*>(child);
+    p += fc_in * fc->out_features() + fc->out_features();
+    macs += fc_in * fc->out_features();
+    fc_in = fc->out_features();
+  }
+  result.effective_params = p;
+  result.effective_macs = macs;
+  result.seconds = total.seconds();
+  return result;
+}
+
+}  // namespace pf::baselines

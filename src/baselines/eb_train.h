@@ -1,0 +1,40 @@
+// Early-Bird Ticket baseline (You et al., "EB Train", paper Table 7):
+// structured channel pruning drawn *early* in training.
+//
+// The BN scale factors rank channel importance; after every epoch the
+// would-be channel mask at prune ratio `pr` is computed, and when the mask's
+// normalized Hamming distance to the previous epoch's mask falls below the
+// threshold, the "early-bird ticket is drawn": pruned channels are zeroed
+// and frozen, and the slim network is fine-tuned for the remaining budget.
+// Parameters/MACs are reported for the *effective* slim network (the dense
+// model You et al. would rebuild); see DESIGN.md on this soft-pruning
+// substitution.
+#pragma once
+
+#include "core/trainer.h"
+#include "models/vgg.h"
+
+namespace pf::baselines {
+
+struct EbConfig {
+  double prune_ratio = 0.3;      // fraction of BN channels removed
+  double mask_distance_threshold = 0.1;
+  int max_search_epochs = 4;     // epoch budget for finding the ticket
+  core::VisionTrainConfig inner; // total epochs and recipe
+};
+
+struct EbResult {
+  int ticket_epoch = -1;          // epoch the mask stabilized
+  int64_t effective_params = 0;   // params of the implied slim network
+  int64_t effective_macs = 0;     // forward MACs of the slim network (32x32)
+  double test_acc = 0, test_top5 = 0;
+  double seconds = 0;
+};
+
+// Runs EB Train on a (possibly width-scaled) Vgg19. VGG's plain
+// conv-BN-ReLU chain is the architecture channel pruning composes cleanly
+// with (residual nets need channel-matching logic You et al. special-case).
+EbResult run_eb_train(const models::VggConfig& model_cfg,
+                      const data::SyntheticImages& ds, const EbConfig& cfg);
+
+}  // namespace pf::baselines

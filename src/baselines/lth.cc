@@ -1,0 +1,122 @@
+#include "baselines/lth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "optim/optim.h"
+
+namespace pf::baselines {
+
+namespace {
+
+// A parameter is prunable if it is a weight matrix/filter (dim >= 2);
+// BN scales and biases are 1-D and always survive.
+bool prunable(const nn::Param& p) { return p.var->value.dim() >= 2; }
+
+void apply_mask(const std::vector<nn::Param*>& params,
+                const std::vector<Tensor>& masks) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (masks[i].empty()) continue;
+    Tensor& w = params[i]->var->value;
+    for (int64_t j = 0; j < w.numel(); ++j) w[j] *= masks[i][j];
+  }
+}
+
+}  // namespace
+
+std::vector<LthRoundRecord> run_lth(const core::VisionModelFactory& make_model,
+                                    const data::SyntheticImages& ds,
+                                    const LthConfig& cfg) {
+  metrics::Timer total;
+  Rng rng(cfg.inner.seed * 0x9E3779B9u + 101);
+  std::unique_ptr<nn::UnaryModule> model = make_model(rng);
+  auto params = model->parameters();
+
+  // Snapshot winning-ticket initialization.
+  std::vector<Tensor> init;
+  init.reserve(params.size());
+  for (nn::Param* p : params) init.push_back(p->var->value);
+
+  // Masks: empty tensor = unmasked (non-prunable param).
+  std::vector<Tensor> masks(params.size());
+  int64_t prunable_total = 0, kept_total = 0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (prunable(*params[i])) {
+      masks[i] = Tensor::ones(params[i]->var->value.shape());
+      prunable_total += params[i]->var->numel();
+    } else {
+      kept_total += params[i]->var->numel();
+    }
+  }
+
+  std::vector<LthRoundRecord> records;
+  const optim::StepDecay sched(cfg.inner.lr, cfg.inner.lr_milestones,
+                               cfg.inner.lr_factor);
+  for (int round = 0; round <= cfg.rounds; ++round) {
+    // Train the masked network.
+    optim::SGD opt(params, cfg.inner.lr, cfg.inner.momentum,
+                   cfg.inner.weight_decay);
+    for (int epoch = 0; epoch < cfg.inner.epochs; ++epoch) {
+      opt.set_lr(sched.at_epoch(epoch));
+      model->train(true);
+      for (const data::ImageBatch& b :
+           ds.train_batches(cfg.inner.batch, epoch + round * 1000)) {
+        model->zero_grad();
+        ag::Var logits = model->forward(ag::leaf(b.images));
+        ag::Var loss =
+            ag::cross_entropy(logits, b.labels, cfg.inner.label_smoothing);
+        ag::backward(loss);
+        opt.step();
+        apply_mask(params, masks);  // keep pruned weights at zero
+      }
+    }
+    const core::EvalResult ev =
+        core::evaluate_vision(*model, ds, cfg.inner.batch);
+
+    int64_t surviving = 0;
+    for (size_t i = 0; i < params.size(); ++i)
+      if (!masks[i].empty())
+        for (int64_t j = 0; j < masks[i].numel(); ++j)
+          surviving += masks[i][j] > 0 ? 1 : 0;
+
+    records.push_back(LthRoundRecord{
+        round,
+        1.0 - static_cast<double>(surviving) / prunable_total,
+        surviving + kept_total, ev.acc, total.seconds()});
+
+    if (round == cfg.rounds) break;
+
+    // Global magnitude pruning of the surviving weights.
+    std::vector<float> magnitudes;
+    magnitudes.reserve(static_cast<size_t>(surviving));
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (masks[i].empty()) continue;
+      const Tensor& w = params[i]->var->value;
+      for (int64_t j = 0; j < w.numel(); ++j)
+        if (masks[i][j] > 0) magnitudes.push_back(std::fabs(w[j]));
+    }
+    const int64_t cut = static_cast<int64_t>(
+        static_cast<double>(magnitudes.size()) * cfg.prune_frac_per_round);
+    if (cut > 0 && cut < static_cast<int64_t>(magnitudes.size())) {
+      std::nth_element(magnitudes.begin(), magnitudes.begin() + cut,
+                       magnitudes.end());
+      const float threshold = magnitudes[static_cast<size_t>(cut)];
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (masks[i].empty()) continue;
+        const Tensor& w = params[i]->var->value;
+        for (int64_t j = 0; j < w.numel(); ++j)
+          if (masks[i][j] > 0 && std::fabs(w[j]) < threshold)
+            masks[i][j] = 0.0f;
+      }
+    }
+
+    // Rewind survivors to their initial values.
+    for (size_t i = 0; i < params.size(); ++i)
+      params[i]->var->value = init[i];
+    apply_mask(params, masks);
+  }
+  return records;
+}
+
+}  // namespace pf::baselines

@@ -1,0 +1,34 @@
+// Lottery Ticket Hypothesis baseline (Frankle & Carbin): iterative magnitude
+// pruning with weight rewinding. Each round trains the masked network to
+// completion, prunes the smallest-magnitude fraction of the surviving
+// weights globally, and rewinds the survivors to their initial values --
+// so reaching sparsity s costs roughly log(1-s)/log(1-p) full training runs,
+// the 5.67x end-to-end cost Figure 5 charges LTH relative to Pufferfish.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace pf::baselines {
+
+struct LthConfig {
+  int rounds = 4;                   // prune-retrain iterations
+  double prune_frac_per_round = 0.5;  // fraction of surviving weights cut
+  core::VisionTrainConfig inner;    // per-round training recipe
+};
+
+struct LthRoundRecord {
+  int round = 0;                 // 0 = dense baseline
+  double sparsity = 0;           // fraction of prunable weights removed
+  int64_t remaining_params = 0;  // surviving prunable + always-kept params
+  double test_acc = 0;
+  double cumulative_seconds = 0;  // wall-clock including all earlier rounds
+};
+
+// Runs LTH on the model produced by `make_model` (same factory contract as
+// core::train_vision). Only conv / linear *weights* are prunable; BN and
+// biases are always kept, matching open_lth.
+std::vector<LthRoundRecord> run_lth(const core::VisionModelFactory& make_model,
+                                    const data::SyntheticImages& ds,
+                                    const LthConfig& cfg);
+
+}  // namespace pf::baselines

@@ -1,0 +1,142 @@
+// Gradient reducers: the communication strategies the paper benchmarks
+// Pufferfish against (Section 4, Figures 4/6/7).
+//
+// Every reducer consumes the per-worker flat gradients of one step and
+// produces the aggregated gradient the optimizer applies, while reporting
+// (a) the *real* bytes each worker would transmit, (b) which collective the
+// encoding is compatible with (the paper leans on allreduce-vs-allgather:
+// sign/sparse encodings do not sum, so they must be allgathered and decoded
+// per peer), and (c) measured encode/decode wall-clock. The distributed
+// simulator combines these with the alpha-beta cost model to produce the
+// per-epoch breakdowns of Fig. 4.
+//
+// Contract for the time fields: `encode_seconds` is the total across all
+// workers (the cluster divides by the node count, since real workers encode
+// in parallel); `decode_seconds` is the cost *one* worker pays to decode
+// (for allgather this already includes decoding all peers' payloads, which
+// is exactly the linear-in-workers effect of appendix F).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace pf::compress {
+
+enum class Collective { kAllreduce, kAllgather };
+
+struct ReduceStats {
+  int64_t payload_bytes_per_worker = 0;
+  Collective collective = Collective::kAllreduce;
+  int n_messages = 1;  // collective invocations this step
+  double encode_seconds = 0;
+  double decode_seconds = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual std::string name() const = 0;
+  // `grads[i]` is worker i's flat gradient; `shapes` is the per-parameter
+  // layout of that flat buffer (matrix-aware reducers need it). Returns the
+  // aggregated gradient (mean convention) and fills `stats`.
+  virtual Tensor reduce(const std::vector<Tensor>& grads,
+                        const std::vector<Shape>& shapes,
+                        ReduceStats* stats) = 0;
+};
+
+// Uncompressed flat-buffer allreduce (the paper's optimized vanilla
+// baseline and what Pufferfish itself uses on the factorized model).
+class AllreduceReducer : public Reducer {
+ public:
+  std::string name() const override { return "allreduce"; }
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+};
+
+// PowerSGD (Vogels et al.): per-matrix rank-r factorization with warm-started
+// Q, Gram-Schmidt orthogonalization, per-worker error feedback, and two
+// allreduce rounds (P then Q). 1-D parameters ride along uncompressed.
+class PowerSgdReducer : public Reducer {
+ public:
+  PowerSgdReducer(int64_t rank, uint64_t seed);
+  std::string name() const override;
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+
+ private:
+  int64_t rank_;
+  Rng rng_;
+  // Warm-started Q per matrix param (index = param position in `shapes`).
+  std::vector<Tensor> q_;
+  // Per-worker, per-param error memory (flat segments).
+  std::vector<std::vector<Tensor>> error_;
+  bool initialized_ = false;
+};
+
+// SIGNUM (Bernstein et al.): sign of the per-worker momentum, majority vote.
+// Signs do not sum, so the encoding allgathers 1 bit/coordinate/worker.
+class SignumReducer : public Reducer {
+ public:
+  explicit SignumReducer(float beta = 0.9f) : beta_(beta) {}
+  std::string name() const override { return "signum"; }
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+
+ private:
+  float beta_;
+  std::vector<Tensor> momentum_;  // per worker
+};
+
+// Top-k sparsification of the flat gradient with error feedback; payload is
+// (index, value) pairs, allgathered.
+class TopKReducer : public Reducer {
+ public:
+  explicit TopKReducer(double keep_ratio) : keep_ratio_(keep_ratio) {}
+  std::string name() const override { return "topk"; }
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+
+ private:
+  double keep_ratio_;
+  std::vector<Tensor> error_;  // per worker
+};
+
+// Stochastic binary quantization (Suresh et al., appendix F): each worker
+// sends per-coordinate bits plus (min, max); every worker dequantizes and
+// averages all peers' payloads -- the decode cost that kills it at scale.
+class BinaryQuantReducer : public Reducer {
+ public:
+  explicit BinaryQuantReducer(uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "binary-quant"; }
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+
+ private:
+  Rng rng_;
+};
+
+// ATOMO (Wang et al., spectral variant): per step, each worker SVDs every
+// matrix-shaped gradient and transmits an UNBIASED random sample of the
+// singular triplets (importance sampling with probabilities p_i ~ s_i,
+// value scaled by 1/p_i). This is the paper's Section 1 example of a
+// compressor whose ENCODE cost (an SVD per matrix per step!) dominates --
+// the cost Pufferfish pays exactly once per training run instead.
+class AtomoReducer : public Reducer {
+ public:
+  // `budget` = number of singular triplets kept per matrix.
+  AtomoReducer(int64_t budget, uint64_t seed) : budget_(budget), rng_(seed) {}
+  std::string name() const override;
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+
+ private:
+  int64_t budget_;
+  Rng rng_;
+};
+
+}  // namespace pf::compress

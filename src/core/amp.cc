@@ -1,0 +1,82 @@
+#include "core/amp.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace pf::core {
+
+float to_fp16(float v) {
+  const uint32_t bits = std::bit_cast<uint32_t>(v);
+  const uint32_t sign = bits >> 31;
+  int32_t exp = static_cast<int32_t>((bits >> 23) & 0xFF) - 127;
+  uint32_t mant = bits & 0x7FFFFF;
+
+  if (exp == 128) return v;  // inf/nan pass through
+  if (exp > 15) {            // overflow -> inf
+    return sign ? -std::numeric_limits<float>::infinity()
+                : std::numeric_limits<float>::infinity();
+  }
+  if (exp < -24) return sign ? -0.0f : 0.0f;  // underflows to zero
+
+  uint32_t half_mant;
+  int32_t half_exp;
+  if (exp < -14) {
+    // Subnormal half: shift mantissa (with implicit 1) right.
+    const int shift = -14 - exp;
+    const uint32_t full = mant | 0x800000;
+    const int total_shift = 13 + shift;
+    uint32_t rounded = full >> total_shift;
+    const uint32_t rem = full & ((1u << total_shift) - 1);
+    const uint32_t half_ulp = 1u << (total_shift - 1);
+    if (rem > half_ulp || (rem == half_ulp && (rounded & 1))) ++rounded;
+    half_mant = rounded;
+    half_exp = -15;  // subnormal marker
+    if (half_mant == 0x400) {  // rounded up into normal range
+      half_mant = 0;
+      half_exp = -14;
+    }
+  } else {
+    uint32_t rounded = mant >> 13;
+    const uint32_t rem = mant & 0x1FFF;
+    if (rem > 0x1000 || (rem == 0x1000 && (rounded & 1))) ++rounded;
+    if (rounded == 0x400) {  // mantissa overflow
+      rounded = 0;
+      ++exp;
+      if (exp > 15)
+        return sign ? -std::numeric_limits<float>::infinity()
+                    : std::numeric_limits<float>::infinity();
+    }
+    half_mant = rounded;
+    half_exp = exp;
+  }
+
+  // Reconstruct the float value the half represents.
+  float result;
+  if (half_exp == -15) {
+    result = std::ldexp(static_cast<float>(half_mant), -24);
+  } else {
+    result = std::ldexp(1.0f + static_cast<float>(half_mant) / 1024.0f,
+                        half_exp);
+  }
+  return sign ? -result : result;
+}
+
+void quantize_fp16(Tensor& t) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = to_fp16(t[i]);
+}
+
+AmpForwardGuard::AmpForwardGuard(nn::Module& m) : params_(m.parameters()) {
+  saved_.reserve(params_.size());
+  for (nn::Param* p : params_) {
+    saved_.push_back(p->var->value);
+    quantize_fp16(p->var->value);
+  }
+}
+
+AmpForwardGuard::~AmpForwardGuard() {
+  for (size_t i = 0; i < params_.size(); ++i)
+    params_[i]->var->value = std::move(saved_[i]);
+}
+
+}  // namespace pf::core

@@ -1,0 +1,36 @@
+// Emulated mixed-precision ("AMP") support for the Table 4/5 AMP rows.
+//
+// Real AMP keeps fp32 master weights and runs compute in fp16. On a CPU
+// float32 substrate we emulate the numerically relevant part: parameters
+// are rounded to the fp16 grid for the forward/backward pass and restored
+// afterwards, so training sees exactly the quantization noise AMP injects
+// while the optimizer updates full-precision masters.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/module.h"
+
+namespace pf::core {
+
+// Round-to-nearest-even float32 -> float16 -> float32.
+float to_fp16(float v);
+
+// Quantize every element of t to the fp16 grid, in place.
+void quantize_fp16(Tensor& t);
+
+// RAII: on construction saves all parameter values of `m` and replaces them
+// with their fp16-rounded versions; on destruction restores the masters.
+class AmpForwardGuard {
+ public:
+  explicit AmpForwardGuard(nn::Module& m);
+  ~AmpForwardGuard();
+  AmpForwardGuard(const AmpForwardGuard&) = delete;
+  AmpForwardGuard& operator=(const AmpForwardGuard&) = delete;
+
+ private:
+  std::vector<nn::Param*> params_;
+  std::vector<Tensor> saved_;
+};
+
+}  // namespace pf::core

@@ -1,0 +1,191 @@
+#include "core/factorize.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/svd.h"
+#include "tensor/matmul.h"
+
+namespace pf::core {
+
+namespace {
+
+double g_svd_seconds = 0;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::runtime_error("warm_start: " + msg);
+}
+
+}  // namespace
+
+double last_warm_start_svd_seconds() { return g_svd_seconds; }
+
+FactorPair factorize_matrix(const Tensor& w, int64_t rank, Rng& rng) {
+  const double t0 = now_s();
+  linalg::SvdResult svd = linalg::truncated_svd(w, rank, rng);
+  g_svd_seconds += now_s() - t0;
+  FactorPair f;
+  f.u = svd.u;  // (out, r)
+  f.v = svd.v;  // (in, r)
+  for (int64_t j = 0; j < rank; ++j) {
+    const float rs = std::sqrt(std::max(0.0f, svd.s[j]));
+    for (int64_t i = 0; i < f.u.size(0); ++i) f.u[i * rank + j] *= rs;
+    for (int64_t i = 0; i < f.v.size(0); ++i) f.v[i * rank + j] *= rs;
+  }
+  return f;
+}
+
+float reconstruction_error(const Tensor& w, const FactorPair& f) {
+  Tensor rec = pf::matmul_nt(f.u, f.v);
+  return linalg::frobenius_diff(w, rec) / std::max(1e-12f, w.norm());
+}
+
+void factorize_linear(const nn::Linear& src, nn::LowRankLinear& dst,
+                      Rng& rng) {
+  check(src.in_features() == dst.in_features() &&
+            src.out_features() == dst.out_features(),
+        "linear shape mismatch");
+  FactorPair f = factorize_matrix(src.weight->value, dst.rank(), rng);
+  dst.u->value = std::move(f.u);
+  dst.v->value = std::move(f.v);
+  if (src.bias && dst.bias) dst.bias->value = src.bias->value;
+}
+
+void factorize_conv(const nn::Conv2d& src, nn::LowRankConv2d& dst, Rng& rng) {
+  check(src.c_in() == dst.c_in() && src.c_out() == dst.c_out() &&
+            src.kernel() == dst.kernel(),
+        "conv shape mismatch");
+  const int64_t c_in = src.c_in(), c_out = src.c_out(), k = src.kernel();
+  const int64_t r = dst.rank();
+  // Unroll (c_out, c_in, k, k) -> (c_in*k*k, c_out): column j is the
+  // vectorized j-th filter (paper Section 2.2).
+  Tensor unrolled(Shape{c_in * k * k, c_out});
+  const Tensor& w = src.weight->value;
+  for (int64_t co = 0; co < c_out; ++co)
+    for (int64_t ci = 0; ci < c_in; ++ci)
+      for (int64_t ki = 0; ki < k; ++ki)
+        for (int64_t kj = 0; kj < k; ++kj)
+          unrolled[((ci * k + ki) * k + kj) * c_out + co] =
+              w[((co * c_in + ci) * k + ki) * k + kj];
+
+  FactorPair f = factorize_matrix(unrolled, r, rng);  // u (cin k^2, r), v (c_out, r)
+  // U reshapes to the thin convolution (r, c_in, k, k).
+  Tensor u4(Shape{r, c_in, k, k});
+  for (int64_t rr = 0; rr < r; ++rr)
+    for (int64_t ci = 0; ci < c_in; ++ci)
+      for (int64_t ki = 0; ki < k; ++ki)
+        for (int64_t kj = 0; kj < k; ++kj)
+          u4[((rr * c_in + ci) * k + ki) * k + kj] =
+              f.u[((ci * k + ki) * k + kj) * r + rr];
+  // V^T becomes the 1x1 up-projection (c_out, r, 1, 1).
+  Tensor v4(Shape{c_out, r, 1, 1});
+  for (int64_t co = 0; co < c_out; ++co)
+    for (int64_t rr = 0; rr < r; ++rr) v4[co * r + rr] = f.v[co * r + rr];
+
+  dst.u->value = std::move(u4);
+  dst.v->value = std::move(v4);
+}
+
+void factorize_lstm(const nn::LSTMLayer& src, nn::LowRankLSTMLayer& dst,
+                    Rng& rng) {
+  check(src.hidden() == dst.hidden() && src.input_dim() == dst.input_dim(),
+        "lstm shape mismatch");
+  const int64_t h = src.hidden(), r = dst.rank();
+  // Per-gate factorization (paper Table 12): slice the fused (4h, *) weights.
+  for (int gate = 0; gate < 4; ++gate) {
+    Tensor wg = slice(src.w_ih->value, 0, gate * h, h);  // (h, d)
+    FactorPair f = factorize_matrix(wg, r, rng);
+    dst.u_ih[static_cast<size_t>(gate)]->value = std::move(f.u);
+    dst.v_ih[static_cast<size_t>(gate)]->value = std::move(f.v);
+    Tensor hg = slice(src.w_hh->value, 0, gate * h, h);  // (h, h)
+    FactorPair fh = factorize_matrix(hg, r, rng);
+    dst.u_hh[static_cast<size_t>(gate)]->value = std::move(fh.u);
+    dst.v_hh[static_cast<size_t>(gate)]->value = std::move(fh.v);
+  }
+  dst.bias->value = src.bias->value;
+}
+
+int64_t choose_rank_for_energy(const Tensor& w, double energy,
+                               int64_t min_rank) {
+  linalg::SvdResult svd = linalg::gram_svd(w);
+  double total = 0;
+  for (int64_t i = 0; i < svd.s.numel(); ++i)
+    total += static_cast<double>(svd.s[i]) * svd.s[i];
+  if (total <= 0) return min_rank;
+  double acc = 0;
+  for (int64_t i = 0; i < svd.s.numel(); ++i) {
+    acc += static_cast<double>(svd.s[i]) * svd.s[i];
+    if (acc / total >= energy) return std::max(min_rank, i + 1);
+  }
+  return std::max(min_rank, svd.s.numel());
+}
+
+double retained_energy(const Tensor& w, int64_t rank) {
+  linalg::SvdResult svd = linalg::gram_svd(w);
+  double total = 0, kept = 0;
+  for (int64_t i = 0; i < svd.s.numel(); ++i) {
+    const double e = static_cast<double>(svd.s[i]) * svd.s[i];
+    total += e;
+    if (i < rank) kept += e;
+  }
+  return total > 0 ? kept / total : 1.0;
+}
+
+void warm_start(nn::Module& vanilla, nn::Module& hybrid, Rng& rng) {
+  g_svd_seconds = 0;
+
+  // Recursive structural pairing.
+  struct Walker {
+    Rng& rng;
+    void walk(nn::Module& src, nn::Module& dst) {
+      const std::string st = src.type_name(), dt = dst.type_name();
+      if (st == dt) {
+        // Copy local params and buffers positionally, recurse.
+        auto& sp = src.local_params();
+        auto& dp = dst.local_params();
+        check(sp.size() == dp.size(),
+              "param count mismatch in " + st);
+        for (size_t i = 0; i < sp.size(); ++i) {
+          check(sp[i].var->value.shape() == dp[i].var->value.shape(),
+                "param shape mismatch in " + st + "." + sp[i].name);
+          dp[i].var->value = sp[i].var->value;
+        }
+        auto& sb = src.local_buffers();
+        auto& db = dst.local_buffers();
+        check(sb.size() == db.size(), "buffer count mismatch in " + st);
+        for (size_t i = 0; i < sb.size(); ++i) db[i].value = sb[i].value;
+        const auto& sc = src.children();
+        const auto& dc = dst.children();
+        check(sc.size() == dc.size(), "child count mismatch in " + st);
+        for (size_t i = 0; i < sc.size(); ++i) walk(*sc[i], *dc[i]);
+        return;
+      }
+      if (st == "Conv2d" && dt == "LowRankConv2d") {
+        factorize_conv(static_cast<nn::Conv2d&>(src),
+                       static_cast<nn::LowRankConv2d&>(dst), rng);
+        return;
+      }
+      if (st == "Linear" && dt == "LowRankLinear") {
+        factorize_linear(static_cast<nn::Linear&>(src),
+                         static_cast<nn::LowRankLinear&>(dst), rng);
+        return;
+      }
+      if (st == "LSTMLayer" && dt == "LowRankLSTMLayer") {
+        factorize_lstm(static_cast<nn::LSTMLayer&>(src),
+                       static_cast<nn::LowRankLSTMLayer&>(dst), rng);
+        return;
+      }
+      check(false, "unsupported pair " + st + " -> " + dt);
+    }
+  } walker{rng};
+  walker.walk(vanilla, hybrid);
+}
+
+}  // namespace pf::core

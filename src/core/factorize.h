@@ -1,0 +1,58 @@
+// The heart of Pufferfish (paper Section 3, Algorithm 1): truncated-SVD
+// factorization of trained full-rank weights into low-rank (U, V) pairs, and
+// the "vanilla warm-up" transfer that initializes a hybrid network from a
+// partially trained vanilla network.
+//
+// Splitting rule (Algorithm 1): W = U~ S V~^T  =>  U = U~ S^{1/2},
+// V^T = S^{1/2} V~^T, truncated at the layer's rank. Convolutions are
+// factorized through their unrolled (c_in k^2, c_out) matrix; BatchNorm
+// weights *and running statistics* carry over unchanged, as do biases.
+#pragma once
+
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "tensor/rng.h"
+
+namespace pf::core {
+
+struct FactorPair {
+  Tensor u;  // (out, r)
+  Tensor v;  // (in, r)
+};
+
+// Factorize a dense (out, in) matrix at `rank` with the S^{1/2} split.
+FactorPair factorize_matrix(const Tensor& w, int64_t rank, Rng& rng);
+
+// Relative Frobenius reconstruction error |W - U V^T| / |W|.
+float reconstruction_error(const Tensor& w, const FactorPair& f);
+
+// Dense layer -> low-rank layer weight transfer (shapes must agree).
+void factorize_linear(const nn::Linear& src, nn::LowRankLinear& dst, Rng& rng);
+void factorize_conv(const nn::Conv2d& src, nn::LowRankConv2d& dst, Rng& rng);
+void factorize_lstm(const nn::LSTMLayer& src, nn::LowRankLSTMLayer& dst,
+                    Rng& rng);
+
+// Recursively transfers a partially trained vanilla model into a structurally
+// parallel hybrid model: identical module types are copied (params and
+// buffers, so BN running stats survive); (Conv2d -> LowRankConv2d),
+// (Linear -> LowRankLinear) and (LSTMLayer -> LowRankLSTMLayer) pairs are
+// SVD-initialized. Throws if the trees are not parallel.
+void warm_start(nn::Module& vanilla, nn::Module& hybrid, Rng& rng);
+
+// Wall-clock seconds spent in SVD during the last warm_start call
+// (appendix G measures this; it is the one-time cost Pufferfish pays).
+double last_warm_start_svd_seconds();
+
+// Smallest rank whose leading singular values retain `energy` of the
+// squared spectral mass of `w` (sum s_i^2). The paper fixes a global rank
+// ratio of 0.25 and cites per-layer rank allocation (Idelbayev et al.) as
+// future work; this utility implements the energy-based allocation so the
+// rank-policy ablation bench can compare the two.
+int64_t choose_rank_for_energy(const Tensor& w, double energy,
+                               int64_t min_rank = 1);
+
+// Fraction of squared spectral mass the top `rank` singular values of `w`
+// retain (the inverse question: what does rank ratio 0.25 keep?).
+double retained_energy(const Tensor& w, int64_t rank);
+
+}  // namespace pf::core

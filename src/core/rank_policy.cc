@@ -1,0 +1,79 @@
+#include "core/rank_policy.h"
+
+#include <algorithm>
+
+#include "core/factorize.h"
+
+namespace pf::core {
+
+int64_t RankPolicy::rank_for(const Tensor& unrolled_weight) const {
+  const int64_t full =
+      std::min(unrolled_weight.size(0), unrolled_weight.size(1));
+  if (kind == Kind::kFixedRatio) {
+    return std::max<int64_t>(
+        min_rank, static_cast<int64_t>(full * ratio));
+  }
+  return std::min(full, choose_rank_for_energy(unrolled_weight, energy,
+                                               min_rank));
+}
+
+namespace {
+
+// Unroll a conv weight (c_out, c_in, k, k) to (c_in*k*k, c_out), matching
+// factorize_conv's convention.
+Tensor unroll_conv(const nn::Conv2d& conv) {
+  const int64_t c_in = conv.c_in(), c_out = conv.c_out(), k = conv.kernel();
+  Tensor unrolled(Shape{c_in * k * k, c_out});
+  const Tensor& w = conv.weight->value;
+  for (int64_t co = 0; co < c_out; ++co)
+    for (int64_t ci = 0; ci < c_in; ++ci)
+      for (int64_t ky = 0; ky < k; ++ky)
+        for (int64_t kx = 0; kx < k; ++kx)
+          unrolled[((ci * k + ky) * k + kx) * c_out + co] =
+              w[((co * c_in + ci) * k + ky) * k + kx];
+  return unrolled;
+}
+
+void visit(nn::Module& m, const RankPolicy& policy, RankPlan& plan) {
+  const std::string t = m.type_name();
+  if (t == "Conv2d") {
+    auto& conv = static_cast<nn::Conv2d&>(m);
+    Tensor unrolled = unroll_conv(conv);
+    RankPlanEntry e;
+    e.layer = "Conv2d " + std::to_string(unrolled.size(0)) + "x" +
+              std::to_string(unrolled.size(1));
+    e.full_rank = std::min(unrolled.size(0), unrolled.size(1));
+    e.rank = policy.rank_for(unrolled);
+    e.dense_params = unrolled.numel();
+    e.factored_params = e.rank * (unrolled.size(0) + unrolled.size(1));
+    e.retained_energy = retained_energy(unrolled, e.rank);
+    plan.entries.push_back(std::move(e));
+  } else if (t == "Linear") {
+    auto& fc = static_cast<nn::Linear&>(m);
+    const Tensor& w = fc.weight->value;  // (out, in)
+    RankPlanEntry e;
+    e.layer = "Linear " + std::to_string(w.size(0)) + "x" +
+              std::to_string(w.size(1));
+    e.full_rank = std::min(w.size(0), w.size(1));
+    e.rank = policy.rank_for(w);
+    e.dense_params = w.numel();
+    e.factored_params = e.rank * (w.size(0) + w.size(1));
+    e.retained_energy = retained_energy(w, e.rank);
+    plan.entries.push_back(std::move(e));
+  }
+  for (nn::Module* c : m.children()) visit(*c, policy, plan);
+}
+
+}  // namespace
+
+RankPlan plan_ranks(nn::Module& model, const RankPolicy& policy) {
+  RankPlan plan;
+  visit(model, policy, plan);
+  for (const RankPlanEntry& e : plan.entries) {
+    plan.dense_params_total += e.dense_params;
+    plan.factored_params_total += e.factored_params;
+  }
+  return plan;
+}
+
+}  // namespace pf::core

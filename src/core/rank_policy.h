@@ -1,0 +1,73 @@
+// First-class rank-allocation policies.
+//
+// The paper uses one global rule -- rank = 0.25 * initial rank -- and cites
+// per-layer allocation (Idelbayev & Carreira-Perpinan) as future work.
+// RankPolicy packages both: the fixed-ratio rule the paper ships, and an
+// energy-based rule that inspects each (warm-up trained) layer's spectrum
+// and spends rank where the energy is. `plan(model)` walks a module tree
+// and reports, per factorizable layer, the rank each policy would assign
+// and the resulting parameter counts -- the analysis the rank-policy
+// ablation bench prints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace pf::core {
+
+struct RankPolicy {
+  enum class Kind { kFixedRatio, kEnergy };
+  Kind kind = Kind::kFixedRatio;
+  double ratio = 0.25;    // kFixedRatio: fraction of the initial rank
+  double energy = 0.9;    // kEnergy: squared-spectral-mass to retain
+  int64_t min_rank = 1;
+
+  static RankPolicy fixed(double ratio) {
+    RankPolicy p;
+    p.kind = Kind::kFixedRatio;
+    p.ratio = ratio;
+    return p;
+  }
+  static RankPolicy energy_based(double energy, int64_t min_rank = 1) {
+    RankPolicy p;
+    p.kind = Kind::kEnergy;
+    p.energy = energy;
+    p.min_rank = min_rank;
+    return p;
+  }
+
+  // Rank for a dense (out, in)-style layer whose unrolled weight is `w`.
+  // kFixedRatio ignores the values and uses only the shape; kEnergy
+  // inspects the spectrum.
+  int64_t rank_for(const Tensor& unrolled_weight) const;
+};
+
+// One factorizable layer's planning entry.
+struct RankPlanEntry {
+  std::string layer;        // type + unrolled shape, e.g. "Conv2d 576x64"
+  int64_t full_rank = 0;    // min(rows, cols) of the unrolled weight
+  int64_t rank = 0;         // what the policy assigns
+  int64_t dense_params = 0;
+  int64_t factored_params = 0;
+  double retained_energy = 0;  // spectral mass the assigned rank keeps
+};
+
+struct RankPlan {
+  std::vector<RankPlanEntry> entries;
+  int64_t dense_params_total = 0;
+  int64_t factored_params_total = 0;
+  double compression() const {
+    return factored_params_total > 0
+               ? static_cast<double>(dense_params_total) /
+                     factored_params_total
+               : 1.0;
+  }
+};
+
+// Walks `model` and plans ranks for every dense Conv2d / Linear layer
+// (the layers warm_start would factorize). Does not modify the model.
+RankPlan plan_ranks(nn::Module& model, const RankPolicy& policy);
+
+}  // namespace pf::core

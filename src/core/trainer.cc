@@ -1,0 +1,318 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <optional>
+
+#include "core/amp.h"
+#include "metrics/metrics.h"
+#include "optim/optim.h"
+
+namespace pf::core {
+
+namespace {
+
+// One SGD epoch over the image dataset; returns mean train loss.
+double vision_epoch(nn::UnaryModule& model, optim::SGD& opt,
+                    const data::SyntheticImages& ds,
+                    const VisionTrainConfig& cfg, int epoch) {
+  model.train(true);
+  double loss_sum = 0;
+  int64_t batches = 0;
+  for (const data::ImageBatch& b : ds.train_batches(cfg.batch, epoch)) {
+    model.zero_grad();
+    ag::Var loss;
+    {
+      std::optional<AmpForwardGuard> amp;
+      if (cfg.amp) amp.emplace(model);
+      ag::Var logits = model.forward(ag::leaf(b.images));
+      loss = ag::cross_entropy(logits, b.labels, cfg.label_smoothing);
+      ag::backward(loss);
+    }  // masters restored before the step
+    opt.step();
+    loss_sum += loss->value[0];
+    ++batches;
+  }
+  return loss_sum / std::max<int64_t>(1, batches);
+}
+
+}  // namespace
+
+EvalResult evaluate_vision(nn::UnaryModule& model,
+                           const data::SyntheticImages& ds, int64_t batch,
+                           float label_smoothing) {
+  ag::NoGradGuard ng;
+  model.train(false);
+  EvalResult r;
+  int64_t total = 0;
+  for (int64_t start = 0; start < ds.test_size(); start += batch) {
+    data::ImageBatch b = ds.test_batch(start, batch);
+    const int64_t n = b.images.size(0);
+    ag::Var logits = model.forward(ag::leaf(b.images));
+    ag::Var loss = ag::cross_entropy(logits, b.labels, label_smoothing);
+    r.acc += metrics::topk_accuracy(logits->value, b.labels, 1) * n;
+    const int64_t k5 =
+        std::min<int64_t>(5, logits->value.size(1));
+    r.top5 += metrics::topk_accuracy(logits->value, b.labels, k5) * n;
+    r.loss += loss->value[0] * n;
+    total += n;
+  }
+  r.acc /= total;
+  r.top5 /= total;
+  r.loss /= total;
+  model.train(true);
+  return r;
+}
+
+VisionResult train_vision(const VisionModelFactory& make_vanilla,
+                          const VisionModelFactory& make_hybrid,
+                          const data::SyntheticImages& ds,
+                          const VisionTrainConfig& cfg) {
+  metrics::Timer total_timer;
+  Rng rng(cfg.seed * 0x9E3779B9u + 17);
+  VisionResult out;
+
+  const int warmup = make_hybrid ? cfg.warmup_epochs : cfg.epochs;
+  optim::StepDecay sched(cfg.lr, cfg.lr_milestones, cfg.lr_factor);
+
+  std::unique_ptr<nn::UnaryModule> model = make_vanilla(rng);
+  auto opt = std::make_unique<optim::SGD>(model->parameters(), cfg.lr,
+                                          cfg.momentum, cfg.weight_decay);
+  bool low_rank_phase = false;
+  if (make_hybrid && warmup == 0) {
+    // Low-rank from scratch: no warm-up, fresh hybrid.
+    model = make_hybrid(rng);
+    opt = std::make_unique<optim::SGD>(model->parameters(), cfg.lr,
+                                       cfg.momentum, cfg.weight_decay);
+    low_rank_phase = true;
+    out.svd_seconds = 0;
+  }
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (make_hybrid && !low_rank_phase && epoch == warmup) {
+      // Algorithm 1: factorize the partially trained vanilla weights.
+      std::unique_ptr<nn::UnaryModule> hybrid = make_hybrid(rng);
+      warm_start(*model, *hybrid, rng);
+      out.svd_seconds = last_warm_start_svd_seconds();
+      model = std::move(hybrid);
+      opt = std::make_unique<optim::SGD>(model->parameters(), sched.at_epoch(epoch),
+                                         cfg.momentum, cfg.weight_decay);
+      low_rank_phase = true;
+    }
+    opt->set_lr(sched.at_epoch(epoch));
+    metrics::Timer t;
+    const double train_loss = vision_epoch(*model, *opt, ds, cfg, epoch);
+    const double secs = t.seconds();
+    const EvalResult ev = evaluate_vision(*model, ds, cfg.batch,
+                                          cfg.label_smoothing);
+    out.epochs.push_back(EpochRecord{epoch, train_loss, ev.acc, ev.top5, secs,
+                                     low_rank_phase});
+    out.final_acc = ev.acc;
+    out.final_top5 = ev.top5;
+    out.final_loss = ev.loss;
+  }
+  out.params = model->num_params();
+  out.total_seconds = total_timer.seconds();
+  return out;
+}
+
+// ---------------- LSTM LM ----------------
+
+double evaluate_lm(models::LstmLm& model, const std::vector<int64_t>& stream,
+                   int64_t batch, int64_t bptt) {
+  ag::NoGradGuard ng;
+  model.train(false);
+  double loss_sum = 0;
+  int64_t tokens = 0;
+  std::vector<nn::LstmState> state;
+  for (const auto& b : data::SyntheticCorpus::batchify(stream, batch, bptt)) {
+    ag::Var logits = model.forward(b.input, b.t, b.b, &state);
+    models::LstmLm::detach(state);
+    ag::Var loss = ag::cross_entropy(logits, b.target);
+    loss_sum += loss->value[0] * static_cast<double>(b.t * b.b);
+    tokens += b.t * b.b;
+  }
+  model.train(true);
+  return metrics::perplexity(loss_sum / std::max<int64_t>(1, tokens));
+}
+
+namespace {
+
+double lm_epoch(models::LstmLm& model, const data::SyntheticCorpus& corpus,
+                const LmTrainConfig& cfg, float lr) {
+  model.train(true);
+  auto params = model.parameters();
+  optim::SGD opt(params, lr);
+  double loss_sum = 0;
+  int64_t batches = 0;
+  std::vector<nn::LstmState> state;
+  for (const auto& b :
+       data::SyntheticCorpus::batchify(corpus.train(), cfg.batch, cfg.bptt)) {
+    model.zero_grad();
+    ag::Var logits = model.forward(b.input, b.t, b.b, &state);
+    models::LstmLm::detach(state);
+    ag::Var loss = ag::cross_entropy(logits, b.target);
+    ag::backward(loss);
+    optim::clip_grad_norm(params, cfg.clip);
+    opt.step();
+    loss_sum += loss->value[0];
+    ++batches;
+  }
+  return loss_sum / std::max<int64_t>(1, batches);
+}
+
+}  // namespace
+
+LmResult train_lm(const LmModelFactory& make_vanilla,
+                  const LmModelFactory& make_lowrank,
+                  const data::SyntheticCorpus& corpus,
+                  const LmTrainConfig& cfg) {
+  metrics::Timer total_timer;
+  Rng rng(cfg.seed * 0x9E3779B9u + 31);
+  LmResult out;
+
+  const int warmup = make_lowrank ? cfg.warmup_epochs : cfg.epochs;
+  std::unique_ptr<models::LstmLm> model = make_vanilla(rng);
+  bool low_rank_phase = false;
+  if (make_lowrank && warmup == 0) {
+    model = make_lowrank(rng);
+    low_rank_phase = true;
+  }
+
+  optim::ReduceOnPlateau plateau(cfg.lr, cfg.plateau_factor);
+  double last_train_loss = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (make_lowrank && !low_rank_phase && epoch == warmup) {
+      std::unique_ptr<models::LstmLm> lowrank = make_lowrank(rng);
+      warm_start(*model, *lowrank, rng);
+      out.svd_seconds = last_warm_start_svd_seconds();
+      model = std::move(lowrank);
+      low_rank_phase = true;
+    }
+    last_train_loss = lm_epoch(*model, corpus, cfg, plateau.lr());
+    const double val_ppl =
+        evaluate_lm(*model, corpus.valid(), cfg.batch, cfg.bptt);
+    out.val_ppl_series.push_back(val_ppl);
+    plateau.observe(static_cast<float>(val_ppl));
+  }
+  out.train_ppl = metrics::perplexity(last_train_loss);
+  out.val_ppl = out.val_ppl_series.back();
+  out.test_ppl = evaluate_lm(*model, corpus.test(), cfg.batch, cfg.bptt);
+  out.params = model->num_params();
+  out.total_seconds = total_timer.seconds();
+  return out;
+}
+
+// ---------------- Transformer MT ----------------
+
+namespace {
+
+double mt_epoch(models::TransformerMT& model, optim::Adam& opt,
+                const data::SyntheticTranslation& ds,
+                const MtTrainConfig& cfg, int epoch) {
+  model.train(true);
+  auto params = model.parameters();
+  double loss_sum = 0;
+  int64_t batches = 0;
+  for (const auto& b : ds.batches(ds.train(), cfg.batch, epoch)) {
+    model.zero_grad();
+    ag::Var logits =
+        model.forward(b.src, b.src_len, b.tgt_in, b.tgt_len, b.b);
+    ag::Var loss =
+        ag::cross_entropy(logits, b.tgt_out, cfg.label_smoothing, -100);
+    ag::backward(loss);
+    optim::clip_grad_norm(params, cfg.clip);
+    opt.step();
+    loss_sum += loss->value[0];
+    ++batches;
+  }
+  return loss_sum / std::max<int64_t>(1, batches);
+}
+
+double mt_eval_ppl(models::TransformerMT& model,
+                   const data::SyntheticTranslation& ds, int64_t batch) {
+  ag::NoGradGuard ng;
+  model.train(false);
+  double loss_sum = 0;
+  int64_t batches = 0;
+  for (const auto& b : ds.batches(ds.test(), batch, /*epoch=*/0)) {
+    ag::Var logits =
+        model.forward(b.src, b.src_len, b.tgt_in, b.tgt_len, b.b);
+    // No label smoothing in eval perplexity.
+    ag::Var loss = ag::cross_entropy(logits, b.tgt_out, 0.0f, -100);
+    loss_sum += loss->value[0];
+    ++batches;
+  }
+  model.train(true);
+  return metrics::perplexity(loss_sum / std::max<int64_t>(1, batches));
+}
+
+double mt_eval_bleu(models::TransformerMT& model,
+                    const data::SyntheticTranslation& ds, int64_t batch) {
+  model.train(false);
+  std::vector<std::vector<int64_t>> hyps, refs;
+  for (const auto& b : ds.batches(ds.test(), batch, /*epoch=*/0)) {
+    auto decoded = model.greedy_decode(
+        b.src, b.src_len, b.b, data::SyntheticTranslation::kBos,
+        data::SyntheticTranslation::kEos, b.tgt_len + 4);
+    for (int64_t i = 0; i < b.b; ++i) {
+      // Strip specials from hypothesis and reference.
+      std::vector<int64_t> h;
+      for (int64_t tok : decoded[static_cast<size_t>(i)])
+        if (tok > data::SyntheticTranslation::kEos) h.push_back(tok);
+      std::vector<int64_t> r;
+      for (int64_t t = 0; t < b.tgt_len; ++t) {
+        const int64_t tok = b.tgt_out[static_cast<size_t>(i * b.tgt_len + t)];
+        if (tok > data::SyntheticTranslation::kEos) r.push_back(tok);
+      }
+      hyps.push_back(std::move(h));
+      refs.push_back(std::move(r));
+    }
+  }
+  model.train(true);
+  return metrics::bleu4(hyps, refs);
+}
+
+}  // namespace
+
+MtResult train_mt(const MtModelFactory& make_vanilla,
+                  const MtModelFactory& make_lowrank,
+                  const data::SyntheticTranslation& ds,
+                  const MtTrainConfig& cfg) {
+  metrics::Timer total_timer;
+  Rng rng(cfg.seed * 0x9E3779B9u + 47);
+  MtResult out;
+
+  const int warmup = make_lowrank ? cfg.warmup_epochs : cfg.epochs;
+  std::unique_ptr<models::TransformerMT> model = make_vanilla(rng);
+  auto opt = std::make_unique<optim::Adam>(model->parameters(), cfg.lr, 0.9f,
+                                           0.98f);
+  bool low_rank_phase = false;
+  if (make_lowrank && warmup == 0) {
+    model = make_lowrank(rng);
+    opt = std::make_unique<optim::Adam>(model->parameters(), cfg.lr, 0.9f,
+                                        0.98f);
+    low_rank_phase = true;
+  }
+
+  double last_train_loss = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (make_lowrank && !low_rank_phase && epoch == warmup) {
+      std::unique_ptr<models::TransformerMT> lowrank = make_lowrank(rng);
+      warm_start(*model, *lowrank, rng);
+      out.svd_seconds = last_warm_start_svd_seconds();
+      model = std::move(lowrank);
+      opt = std::make_unique<optim::Adam>(model->parameters(), cfg.lr, 0.9f,
+                                          0.98f);
+      low_rank_phase = true;
+    }
+    last_train_loss = mt_epoch(*model, *opt, ds, cfg, epoch);
+  }
+  out.train_ppl = metrics::perplexity(last_train_loss);
+  out.val_ppl = mt_eval_ppl(*model, ds, cfg.batch);
+  out.bleu = mt_eval_bleu(*model, ds, cfg.batch);
+  out.params = model->num_params();
+  out.total_seconds = total_timer.seconds();
+  return out;
+}
+
+}  // namespace pf::core

@@ -1,0 +1,118 @@
+#include "dist/cluster.h"
+
+#include "metrics/metrics.h"
+
+namespace pf::dist {
+
+DataParallelTrainer::DataParallelTrainer(
+    std::unique_ptr<nn::UnaryModule> model,
+    std::unique_ptr<compress::Reducer> reducer, CostModel cost_model,
+    const DistTrainConfig& cfg)
+    : model_(std::move(model)),
+      reducer_(std::move(reducer)),
+      cm_(cost_model),
+      cfg_(cfg) {
+  opt_ = std::make_unique<optim::SGD>(model_->parameters(), cfg.lr,
+                                      cfg.momentum, cfg.weight_decay);
+  for (nn::Param* p : model_->parameters())
+    param_shapes_.push_back(p->var->value.shape());
+}
+
+void DataParallelTrainer::replace_model(
+    std::unique_ptr<nn::UnaryModule> model,
+    std::unique_ptr<compress::Reducer> reducer) {
+  model_ = std::move(model);
+  if (reducer) reducer_ = std::move(reducer);
+  opt_ = std::make_unique<optim::SGD>(model_->parameters(), cfg_.lr,
+                                      cfg_.momentum, cfg_.weight_decay);
+  param_shapes_.clear();
+  for (nn::Param* p : model_->parameters())
+    param_shapes_.push_back(p->var->value.shape());
+}
+
+DistEpochRecord DataParallelTrainer::train_epoch(
+    const data::SyntheticImages& ds, int epoch) {
+  const int nodes = cm_.nodes;
+  const int64_t shard = std::max<int64_t>(1, cfg_.global_batch / nodes);
+
+  // Learning-rate schedule with optional linear warm-up.
+  float lr;
+  if (epoch < cfg_.lr_warmup_epochs) {
+    const float frac =
+        static_cast<float>(epoch + 1) / cfg_.lr_warmup_epochs;
+    lr = cfg_.lr_warmup_start + (cfg_.lr - cfg_.lr_warmup_start) * frac;
+  } else {
+    lr = optim::StepDecay(cfg_.lr, cfg_.lr_milestones, cfg_.lr_factor)
+             .at_epoch(epoch);
+  }
+  opt_->set_lr(lr);
+
+  DistEpochRecord rec;
+  rec.epoch = epoch;
+  model_->train(true);
+  double loss_sum = 0;
+  int64_t steps = 0;
+
+  metrics::Timer other_timer;
+  const auto batches = ds.train_batches(cfg_.global_batch, epoch);
+  rec.breakdown.other_s += other_timer.seconds();
+
+  for (const data::ImageBatch& gb : batches) {
+    // Shard the global batch across workers; compute real per-worker grads.
+    std::vector<Tensor> grads;
+    grads.reserve(static_cast<size_t>(nodes));
+    metrics::Timer tc;
+    for (int w = 0; w < nodes; ++w) {
+      const int64_t start = w * shard;
+      if (start >= gb.images.size(0)) break;
+      const int64_t count =
+          std::min<int64_t>(shard, gb.images.size(0) - start);
+      Tensor imgs = slice(gb.images, 0, start, count);
+      std::vector<int64_t> labels(
+          gb.labels.begin() + start, gb.labels.begin() + start + count);
+      model_->zero_grad();
+      ag::Var logits = model_->forward(ag::leaf(std::move(imgs)));
+      ag::Var loss =
+          ag::cross_entropy(logits, labels, cfg_.label_smoothing);
+      ag::backward(loss);
+      grads.push_back(model_->flat_grads());
+      loss_sum += loss->value[0];
+      ++steps;
+    }
+    rec.breakdown.compute_s += tc.seconds() / nodes;
+
+    compress::ReduceStats stats;
+    Tensor agg = reducer_->reduce(grads, param_shapes_, &stats);
+    rec.breakdown.encode_s += stats.encode_seconds / nodes;
+    rec.breakdown.decode_s += stats.decode_seconds;
+    rec.breakdown.comm_s +=
+        stats.collective == compress::Collective::kAllreduce
+            ? cm_.allreduce_seconds(stats.payload_bytes_per_worker,
+                                    stats.n_messages)
+            : cm_.allgather_seconds(stats.payload_bytes_per_worker,
+                                    stats.n_messages);
+    rec.breakdown.bytes_per_worker = stats.payload_bytes_per_worker;
+
+    metrics::Timer ts;
+    model_->set_flat_grads(agg);
+    opt_->step();
+    rec.breakdown.other_s += ts.seconds();
+  }
+
+  rec.train_loss = loss_sum / std::max<int64_t>(1, steps);
+  const core::EvalResult ev =
+      core::evaluate_vision(*model_, ds, cfg_.global_batch);
+  rec.test_acc = ev.acc;
+  sim_seconds_ += rec.breakdown.total();
+  rec.cumulative_sim_seconds = sim_seconds_;
+  return rec;
+}
+
+std::vector<DistEpochRecord> DataParallelTrainer::train(
+    const data::SyntheticImages& ds) {
+  std::vector<DistEpochRecord> out;
+  for (int e = 0; e < cfg_.epochs; ++e) out.push_back(train_epoch(ds, e));
+  return out;
+}
+
+}  // namespace pf::dist

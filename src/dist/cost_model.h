@@ -1,0 +1,49 @@
+// Alpha-beta communication cost model for ring allreduce and allgather
+// (Thakur, Rabenseifner & Gropp 2005 -- the model the paper's Section 4.1
+// latency argument is built on).
+//
+//   ring allreduce of n bytes over p nodes:
+//       t = 2 (p-1) alpha_step + 2 n (p-1)/p / B
+//   allgather where each node contributes n bytes:
+//       t = (p-1) alpha_step + n (p-1) / B
+//
+// The per-call latency term scales with p, which is why the paper packs all
+// gradients into ONE flat buffer per iteration instead of one allreduce per
+// layer -- `packed` toggles that optimization so benches can ablate it.
+#pragma once
+
+#include <cstdint>
+
+namespace pf::dist {
+
+struct CostModel {
+  int nodes = 16;
+  double bandwidth_bytes_per_s = 10e9 / 8;  // 10 Gbps links (EC2 p3.2xlarge)
+  double latency_s = 50e-6;                 // per ring step
+
+  double allreduce_seconds(int64_t bytes, int n_calls = 1) const {
+    const double p = nodes;
+    const double alpha = 2.0 * (p - 1) * latency_s;
+    const double beta =
+        2.0 * static_cast<double>(bytes) * (p - 1) / p / bandwidth_bytes_per_s;
+    return n_calls * alpha + beta;
+  }
+
+  double allgather_seconds(int64_t bytes_per_node, int n_calls = 1) const {
+    const double p = nodes;
+    const double alpha = (p - 1) * latency_s;
+    const double beta = static_cast<double>(bytes_per_node) * (p - 1) /
+                        bandwidth_bytes_per_s;
+    return n_calls * alpha + beta;
+  }
+};
+
+// PyTorch-DDP-style bucketed overlap: backward produces gradient buckets of
+// `bucket_bytes` which are allreduced while later layers still compute.
+// Returns the modeled epoch time given the measured per-epoch compute time
+// (forward+backward) and the total gradient bytes.
+double ddp_epoch_seconds(double compute_s, int64_t grad_bytes,
+                         const CostModel& cm,
+                         int64_t bucket_bytes = 25 << 20);
+
+}  // namespace pf::dist

@@ -1,0 +1,422 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/matmul.h"
+
+namespace pf::linalg {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
+
+}  // namespace
+
+EigResult jacobi_eigh(const Tensor& a, int max_sweeps, double tol) {
+  check(a.dim() == 2 && a.size(0) == a.size(1), "jacobi_eigh: square matrix");
+  const int64_t n = a.size(0);
+  // Work in double internally: Jacobi rotations accumulate rounding error and
+  // the singular values feed sqrt() later.
+  std::vector<double> m(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n * n; ++i) m[static_cast<size_t>(i)] = a[i];
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i * n + i)] = 1.0;
+
+  auto off_norm = [&]() {
+    double acc = 0;
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double x = m[static_cast<size_t>(i * n + j)];
+        acc += 2 * x * x;
+      }
+    return std::sqrt(acc);
+  };
+  const double scale = std::max(1e-300, std::sqrt([&] {
+    double acc = 0;
+    for (double x : m) acc += x * x;
+    return acc;
+  }()));
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = m[static_cast<size_t>(p * n + q)];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m[static_cast<size_t>(p * n + p)];
+        const double aqq = m[static_cast<size_t>(q * n + q)];
+        const double theta = (aqq - app) / (2 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1));
+        const double c = 1.0 / std::sqrt(t * t + 1);
+        const double s = t * c;
+        // Rotate rows/cols p and q of m.
+        for (int64_t k = 0; k < n; ++k) {
+          const double mkp = m[static_cast<size_t>(k * n + p)];
+          const double mkq = m[static_cast<size_t>(k * n + q)];
+          m[static_cast<size_t>(k * n + p)] = c * mkp - s * mkq;
+          m[static_cast<size_t>(k * n + q)] = s * mkp + c * mkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double mpk = m[static_cast<size_t>(p * n + k)];
+          const double mqk = m[static_cast<size_t>(q * n + k)];
+          m[static_cast<size_t>(p * n + k)] = c * mpk - s * mqk;
+          m[static_cast<size_t>(q * n + k)] = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<size_t>(k * n + p)];
+          const double vkq = v[static_cast<size_t>(k * n + q)];
+          v[static_cast<size_t>(k * n + p)] = c * vkp - s * vkq;
+          v[static_cast<size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return m[static_cast<size_t>(x * n + x)] > m[static_cast<size_t>(y * n + y)];
+  });
+  EigResult r{Tensor(Shape{n}), Tensor(Shape{n, n})};
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t src = order[static_cast<size_t>(i)];
+    r.values[i] = static_cast<float>(m[static_cast<size_t>(src * n + src)]);
+    for (int64_t k = 0; k < n; ++k)
+      r.vectors[k * n + i] =
+          static_cast<float>(v[static_cast<size_t>(k * n + src)]);
+  }
+  return r;
+}
+
+EigResult tridiag_eigh(const Tensor& a) {
+  check(a.dim() == 2 && a.size(0) == a.size(1), "tridiag_eigh: square");
+  const int64_t n = a.size(0);
+  // z starts as a copy of A (double); tred2 overwrites it with the
+  // accumulated orthogonal transform.
+  std::vector<double> z(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n * n; ++i) z[static_cast<size_t>(i)] = a[i];
+  std::vector<double> d(static_cast<size_t>(n), 0.0);
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  auto Z = [&](int64_t r, int64_t c) -> double& {
+    return z[static_cast<size_t>(r * n + c)];
+  };
+
+  // --- Householder reduction to tridiagonal form (tred2). ---
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t l = i - 1;
+    double h = 0, scale = 0;
+    if (l > 0) {
+      for (int64_t k = 0; k <= l; ++k) scale += std::fabs(Z(i, k));
+      if (scale == 0.0) {
+        e[static_cast<size_t>(i)] = Z(i, l);
+      } else {
+        for (int64_t k = 0; k <= l; ++k) {
+          Z(i, k) /= scale;
+          h += Z(i, k) * Z(i, k);
+        }
+        double f = Z(i, l);
+        double g = f >= 0 ? -std::sqrt(h) : std::sqrt(h);
+        e[static_cast<size_t>(i)] = scale * g;
+        h -= f * g;
+        Z(i, l) = f - g;
+        f = 0;
+        for (int64_t j = 0; j <= l; ++j) {
+          Z(j, i) = Z(i, j) / h;
+          g = 0;
+          for (int64_t k = 0; k <= j; ++k) g += Z(j, k) * Z(i, k);
+          for (int64_t k = j + 1; k <= l; ++k) g += Z(k, j) * Z(i, k);
+          e[static_cast<size_t>(j)] = g / h;
+          f += e[static_cast<size_t>(j)] * Z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int64_t j = 0; j <= l; ++j) {
+          f = Z(i, j);
+          e[static_cast<size_t>(j)] = g = e[static_cast<size_t>(j)] - hh * f;
+          for (int64_t k = 0; k <= j; ++k)
+            Z(j, k) -= f * e[static_cast<size_t>(k)] + g * Z(i, k);
+        }
+      }
+    } else {
+      e[static_cast<size_t>(i)] = Z(i, l);
+    }
+    d[static_cast<size_t>(i)] = h;
+  }
+  d[0] = 0;
+  e[0] = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (d[static_cast<size_t>(i)] != 0.0) {
+      for (int64_t j = 0; j < i; ++j) {
+        double g = 0;
+        for (int64_t k = 0; k < i; ++k) g += Z(i, k) * Z(k, j);
+        for (int64_t k = 0; k < i; ++k) Z(k, j) -= g * Z(k, i);
+      }
+    }
+    d[static_cast<size_t>(i)] = Z(i, i);
+    Z(i, i) = 1.0;
+    for (int64_t j = 0; j < i; ++j) {
+      Z(j, i) = 0.0;
+      Z(i, j) = 0.0;
+    }
+  }
+
+  // --- Implicit-shift QL on the tridiagonal (tqli). ---
+  for (int64_t i = 1; i < n; ++i)
+    e[static_cast<size_t>(i - 1)] = e[static_cast<size_t>(i)];
+  e[static_cast<size_t>(n - 1)] = 0.0;
+  auto pythag = [](double x, double y) {
+    const double ax = std::fabs(x), ay = std::fabs(y);
+    if (ax > ay) {
+      const double r = ay / ax;
+      return ax * std::sqrt(1.0 + r * r);
+    }
+    if (ay == 0.0) return 0.0;
+    const double r = ax / ay;
+    return ay * std::sqrt(1.0 + r * r);
+  };
+  for (int64_t l = 0; l < n; ++l) {
+    int iter = 0;
+    int64_t m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[static_cast<size_t>(m)]) +
+                          std::fabs(d[static_cast<size_t>(m + 1)]);
+        if (std::fabs(e[static_cast<size_t>(m)]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 60)
+          throw std::runtime_error("tridiag_eigh: too many QL iterations");
+        double g = (d[static_cast<size_t>(l + 1)] - d[static_cast<size_t>(l)]) /
+                   (2.0 * e[static_cast<size_t>(l)]);
+        double r = pythag(g, 1.0);
+        g = d[static_cast<size_t>(m)] - d[static_cast<size_t>(l)] +
+            e[static_cast<size_t>(l)] /
+                (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (int64_t i = m - 1; i >= l; --i) {
+          double f = s * e[static_cast<size_t>(i)];
+          const double b = c * e[static_cast<size_t>(i)];
+          r = pythag(f, g);
+          e[static_cast<size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            d[static_cast<size_t>(i + 1)] -= p;
+            e[static_cast<size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<size_t>(i + 1)] - p;
+          r = (d[static_cast<size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          for (int64_t k = 0; k < n; ++k) {
+            f = Z(k, i + 1);
+            Z(k, i + 1) = s * Z(k, i) + c * f;
+            Z(k, i) = c * Z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m - 1 >= l) continue;
+        d[static_cast<size_t>(l)] -= p;
+        e[static_cast<size_t>(l)] = g;
+        e[static_cast<size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort descending and emit float tensors.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return d[static_cast<size_t>(x)] > d[static_cast<size_t>(y)];
+  });
+  EigResult r{Tensor(Shape{n}), Tensor(Shape{n, n})};
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t src = order[static_cast<size_t>(i)];
+    r.values[i] = static_cast<float>(d[static_cast<size_t>(src)]);
+    for (int64_t k = 0; k < n; ++k)
+      r.vectors[k * n + i] = static_cast<float>(Z(k, src));
+  }
+  return r;
+}
+
+EigResult eigh(const Tensor& a) {
+  // Jacobi is more accurate for tiny matrices and has no convergence edge
+  // cases; tred2/tqli wins decisively past ~96.
+  return a.size(0) <= 96 ? jacobi_eigh(a) : tridiag_eigh(a);
+}
+
+SvdResult gram_svd(const Tensor& a, int64_t rank) {
+  check(a.dim() == 2, "gram_svd: 2-D matrix required");
+  const int64_t m = a.size(0), n = a.size(1);
+  const int64_t full = std::min(m, n);
+  if (rank <= 0 || rank > full) rank = full;
+
+  const bool tall = m >= n;
+  // Work with G = A^T A (n x n) if tall, else G = A A^T (m x m).
+  Tensor g = tall ? matmul_tn(a, a) : matmul_nt(a, a);
+  EigResult eig = eigh(g);
+
+  SvdResult out;
+  out.s = Tensor(Shape{rank});
+  std::vector<float> sigma(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) {
+    const float lam = std::max(0.0f, eig.values[i]);
+    sigma[static_cast<size_t>(i)] = std::sqrt(lam);
+    out.s[i] = sigma[static_cast<size_t>(i)];
+  }
+
+  // Right (or left) factor: leading eigenvectors.
+  Tensor small(Shape{tall ? n : m, rank});
+  for (int64_t i = 0; i < small.size(0); ++i)
+    for (int64_t j = 0; j < rank; ++j)
+      small[i * rank + j] = eig.vectors[i * (tall ? n : m) + j];
+
+  // Back-project the other factor: U = A V / sigma (tall) or V = A^T U / sigma.
+  Tensor big = tall ? matmul(a, small) : matmul_tn(a, small);
+  for (int64_t j = 0; j < rank; ++j) {
+    const float s = sigma[static_cast<size_t>(j)];
+    if (s > 1e-12f) {
+      const float inv = 1.0f / s;
+      for (int64_t i = 0; i < big.size(0); ++i) big[i * rank + j] *= inv;
+    } else {
+      // Null direction: emit a deterministic unit vector (contribution to the
+      // reconstruction is zero anyway because sigma ~ 0).
+      for (int64_t i = 0; i < big.size(0); ++i)
+        big[i * rank + j] = (i == j % big.size(0)) ? 1.0f : 0.0f;
+    }
+  }
+
+  if (tall) {
+    out.u = std::move(big);
+    out.v = std::move(small);
+  } else {
+    out.u = std::move(small);
+    out.v = std::move(big);
+  }
+  return out;
+}
+
+SvdResult randomized_svd(const Tensor& a, int64_t rank, Rng& rng,
+                         int64_t oversample, int power_iters) {
+  check(a.dim() == 2, "randomized_svd: 2-D matrix required");
+  const int64_t m = a.size(0), n = a.size(1);
+  const int64_t full = std::min(m, n);
+  rank = std::min(rank, full);
+  const int64_t l = std::min(rank + oversample, full);
+
+  // Range finder: Y = A * Omega, orthonormalize; power iterations sharpen the
+  // spectrum for slowly decaying singular values.
+  Tensor omega = rng.randn(Shape{n, l});
+  Tensor q = matmul(a, omega);
+  orthonormalize_columns(q);
+  for (int p = 0; p < power_iters; ++p) {
+    Tensor z = matmul_tn(a, q);  // (n, l)
+    orthonormalize_columns(z);
+    q = matmul(a, z);
+    orthonormalize_columns(q);
+  }
+
+  // Project: B = Q^T A is (l, n); its SVD gives the top singular triplets.
+  Tensor b = matmul_tn(q, a);
+  SvdResult sb = gram_svd(b, rank);
+  SvdResult out;
+  out.u = matmul(q, sb.u);  // (m, rank)
+  out.s = std::move(sb.s);
+  out.v = std::move(sb.v);
+  return out;
+}
+
+SvdResult truncated_svd(const Tensor& a, int64_t rank, Rng& rng) {
+  const int64_t small_side = std::min(a.size(0), a.size(1));
+  // Jacobi on the Gram matrix is O(small^3) per sweep, so past ~300 the
+  // randomized range finder is much faster whenever the requested rank
+  // leaves room for oversampling; otherwise fall back to the exact path.
+  if (small_side <= 300 || rank + 16 >= small_side) return gram_svd(a, rank);
+  return randomized_svd(a, rank, rng);
+}
+
+Tensor svd_reconstruct(const SvdResult& r) {
+  const int64_t rank = r.s.numel();
+  Tensor us = r.u;  // scale columns of U by s
+  for (int64_t i = 0; i < us.size(0); ++i)
+    for (int64_t j = 0; j < rank; ++j) us[i * rank + j] *= r.s[j];
+  return matmul_nt(us, r.v);
+}
+
+namespace {
+
+// Gram-Schmidt over the ROWS of a (k, n) row-major matrix: contiguous dot
+// products and AXPYs, which is why orthonormalize_columns transposes first.
+void orthonormalize_rows(float* data, int64_t k, int64_t n) {
+  for (int64_t j = 0; j < k; ++j) {
+    float* row_j = data + j * n;
+    // Two passes of classical Gram-Schmidt ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int64_t r = 0; r < j; ++r) {
+        const float* row_r = data + r * n;
+        double dot = 0;
+        for (int64_t i = 0; i < n; ++i)
+          dot += static_cast<double>(row_j[i]) * row_r[i];
+        const float d = static_cast<float>(dot);
+        for (int64_t i = 0; i < n; ++i) row_j[i] -= d * row_r[i];
+      }
+    }
+    double nrm = 0;
+    for (int64_t i = 0; i < n; ++i)
+      nrm += static_cast<double>(row_j[i]) * row_j[i];
+    nrm = std::sqrt(nrm);
+    if (nrm > 1e-10) {
+      const float inv = static_cast<float>(1.0 / nrm);
+      for (int64_t i = 0; i < n; ++i) row_j[i] *= inv;
+    } else {
+      // Degenerate row: substitute a canonical basis vector and
+      // re-orthogonalize it against the previous rows.
+      for (int64_t i = 0; i < n; ++i) row_j[i] = (i == j % n) ? 1.0f : 0.0f;
+      for (int64_t r = 0; r < j; ++r) {
+        const float* row_r = data + r * n;
+        double dot = 0;
+        for (int64_t i = 0; i < n; ++i)
+          dot += static_cast<double>(row_j[i]) * row_r[i];
+        const float d = static_cast<float>(dot);
+        for (int64_t i = 0; i < n; ++i) row_j[i] -= d * row_r[i];
+      }
+      double n2 = 0;
+      for (int64_t i = 0; i < n; ++i)
+        n2 += static_cast<double>(row_j[i]) * row_j[i];
+      n2 = std::max(n2, 1e-30);
+      const float inv = static_cast<float>(1.0 / std::sqrt(n2));
+      for (int64_t i = 0; i < n; ++i) row_j[i] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+void orthonormalize_columns(Tensor& m) {
+  check(m.dim() == 2, "orthonormalize_columns: 2-D matrix required");
+  // Transpose so each vector is a contiguous row, orthonormalize, transpose
+  // back: two copies buy cache-friendly inner loops.
+  Tensor mt = m.t();
+  orthonormalize_rows(mt.data(), mt.size(0), mt.size(1));
+  m = mt.t();
+}
+
+float frobenius_diff(const Tensor& a, const Tensor& b) {
+  check(a.shape() == b.shape(), "frobenius_diff: shape mismatch");
+  double acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace pf::linalg

@@ -1,0 +1,68 @@
+// Singular value decomposition and friends, built from scratch.
+//
+// Pufferfish needs one truncated SVD per layer, once per training run
+// (Algorithm 1). The layers it factorizes unroll to (c_in*k^2, c_out)
+// matrices whose *smaller* dimension is at most a couple thousand, so the
+// Gram-matrix route (eigendecompose A^T A with cyclic Jacobi, back-project)
+// is exact to float tolerance and avoids a full bidiagonalization. A
+// randomized range-finder SVD is provided for the very large matrices
+// (e.g. the LSTM's 6000x1500 blocks) and is what `truncated_svd` dispatches
+// to above a size threshold. PowerSGD's orthonormalization reuses the
+// Gram-Schmidt QR here.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace pf::linalg {
+
+struct EigResult {
+  Tensor values;   // (n), descending
+  Tensor vectors;  // (n, n), columns are eigenvectors
+};
+
+// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+// Iterates sweeps until off-diagonal Frobenius mass is below tol.
+EigResult jacobi_eigh(const Tensor& a, int max_sweeps = 64,
+                      double tol = 1e-12);
+
+// Householder tridiagonalization + implicit-QL eigendecomposition
+// (tred2/tqli). O(n^3) with vectorizable inner loops -- much faster than
+// Jacobi for the Gram matrices the big layers produce; same contract.
+EigResult tridiag_eigh(const Tensor& a);
+
+// Dispatches to jacobi (small) or tridiag (large) -- what gram_svd uses.
+EigResult eigh(const Tensor& a);
+
+struct SvdResult {
+  Tensor u;  // (m, r)
+  Tensor s;  // (r), descending, non-negative
+  Tensor v;  // (n, r); A ~= U diag(s) V^T
+};
+
+// Exact (to fp tolerance) SVD via the Gram matrix of the smaller side.
+// rank <= min(m, n); rank <= 0 means full min(m, n).
+SvdResult gram_svd(const Tensor& a, int64_t rank = -1);
+
+// Randomized truncated SVD (Halko et al.): Gaussian range finder with
+// `power_iters` subspace iterations and `oversample` extra columns.
+SvdResult randomized_svd(const Tensor& a, int64_t rank, Rng& rng,
+                         int64_t oversample = 8, int power_iters = 1);
+
+// Dispatches to gram_svd for small problems and randomized_svd for large.
+SvdResult truncated_svd(const Tensor& a, int64_t rank, Rng& rng);
+
+// Reconstruct U diag(s) V^T.
+Tensor svd_reconstruct(const SvdResult& r);
+
+// In-place Gram-Schmidt orthonormalization of the columns of m (rows x cols,
+// cols <= rows). Degenerate columns are replaced with deterministic unit
+// vectors so the result always has orthonormal columns. Used by PowerSGD.
+void orthonormalize_columns(Tensor& m);
+
+// Frobenius norm of (a - b).
+float frobenius_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace pf::linalg

@@ -1,0 +1,90 @@
+#include "metrics/ascii_chart.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pf::metrics {
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& opts) {
+  // Determine x extent and y range.
+  size_t max_len = 0;
+  double lo = opts.y_min, hi = opts.y_max;
+  const bool fit = std::isnan(lo) || std::isnan(hi);
+  if (fit) {
+    lo = 1e300;
+    hi = -1e300;
+  }
+  for (const Series& s : series) {
+    max_len = std::max(max_len, s.values.size());
+    if (fit)
+      for (double v : s.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+  }
+  if (max_len == 0) return "(empty chart)";
+  if (hi <= lo) hi = lo + 1.0;
+
+  const int w = std::max(8, opts.width);
+  const int h = std::max(4, opts.height);
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+
+  auto plot = [&](double x_frac, double y, char marker) {
+    const int col = std::min<int>(
+        w - 1, static_cast<int>(x_frac * (w - 1) + 0.5));
+    double yf = (y - lo) / (hi - lo);
+    yf = std::clamp(yf, 0.0, 1.0);
+    const int row =
+        h - 1 - std::min<int>(h - 1, static_cast<int>(yf * (h - 1) + 0.5));
+    char& cell = grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+    cell = cell == ' ' || cell == marker ? marker : '#';  // '#' = overlap
+  };
+
+  for (const Series& s : series) {
+    const size_t n = s.values.size();
+    if (n == 1) {
+      plot(0.0, s.values[0], s.marker);
+      continue;
+    }
+    // Plot each point plus linear interpolation between them so the line
+    // reads as a line at chart resolution.
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const double x0 = static_cast<double>(i) / (max_len - 1);
+      const double x1 = static_cast<double>(i + 1) / (max_len - 1);
+      for (int step = 0; step <= 8; ++step) {
+        const double t = step / 8.0;
+        plot(x0 + (x1 - x0) * t,
+             s.values[i] + (s.values[i + 1] - s.values[i]) * t, s.marker);
+      }
+    }
+  }
+
+  // Assemble with a y-axis gutter and legend.
+  std::string out;
+  char buf[64];
+  for (int row = 0; row < h; ++row) {
+    const double y = hi - (hi - lo) * row / (h - 1);
+    if (row == 0 || row == h - 1 || row == h / 2) {
+      std::snprintf(buf, sizeof(buf), "%8.2f |", y);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%8s |", "");
+    }
+    out += buf;
+    out += grid[static_cast<size_t>(row)];
+    out += '\n';
+  }
+  out += "         +";
+  out += std::string(static_cast<size_t>(w), '-');
+  out += "> " + opts.x_label + "\n";
+  out += "         ";
+  for (const Series& s : series) {
+    out += " [";
+    out += s.marker;
+    out += "] " + s.name;
+  }
+  return out;
+}
+
+}  // namespace pf::metrics

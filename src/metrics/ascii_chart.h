@@ -1,0 +1,33 @@
+// Tiny ASCII line charts for bench output: renders one or more series
+// (e.g. test-accuracy-vs-epoch convergence curves, the paper's Figures 2/4)
+// into a fixed-size character grid so the "figures" are figures even in a
+// terminal log.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace pf::metrics {
+
+struct Series {
+  std::string name;
+  std::vector<double> values;  // y per integer x (0, 1, 2, ...)
+  char marker = '*';
+};
+
+struct ChartOptions {
+  int width = 60;   // columns of plot area
+  int height = 12;  // rows of plot area
+  std::string x_label = "epoch";
+  std::string y_label;
+  // If both are NaN the y-range is fit to the data.
+  double y_min = std::nan("");
+  double y_max = std::nan("");
+};
+
+// Renders the chart into a multi-line string (no trailing newline).
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& opts = {});
+
+}  // namespace pf::metrics

@@ -1,0 +1,67 @@
+#include "models/lstm_lm.h"
+
+namespace pf::models {
+
+LstmLm::LstmLm(const LstmLmConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      embed_(cfg.vocab, cfg.hidden, rng),
+      drop_in_(cfg.dropout, rng.next_u64()),
+      drop_mid_(cfg.dropout, rng.next_u64()),
+      drop_out_(cfg.dropout, rng.next_u64()) {
+  register_child(&embed_);
+  for (int64_t l = 0; l < cfg.layers; ++l) {
+    if (cfg.rank > 0) {
+      lstm_.push_back(std::make_unique<nn::LowRankLSTMLayer>(
+          cfg.hidden, cfg.hidden, cfg.rank, rng));
+    } else {
+      lstm_.push_back(
+          std::make_unique<nn::LSTMLayer>(cfg.hidden, cfg.hidden, rng));
+    }
+    register_child(lstm_.back().get());
+  }
+  register_child(&drop_in_);
+  register_child(&drop_mid_);
+  register_child(&drop_out_);
+  decoder_bias_ =
+      add_param("decoder_bias", Tensor::zeros(Shape{cfg.vocab}),
+                /*no_decay=*/true);
+}
+
+ag::Var LstmLm::forward(const std::vector<int64_t>& ids, int64_t t_len,
+                        int64_t b, std::vector<nn::LstmState>* state) {
+  if (state && state->empty()) state->resize(lstm_.size());
+  ag::Var x = embed_.forward(ids);  // (T*B, H)
+  x = ag::reshape(x, Shape{t_len, b, cfg_.hidden});
+  x = drop_in_.forward(x);
+  for (size_t l = 0; l < lstm_.size(); ++l) {
+    nn::LstmState* st = state ? &(*state)[l] : nullptr;
+    x = lstm_[l]->forward(x, st);
+    if (l + 1 < lstm_.size()) x = drop_mid_.forward(x);
+  }
+  x = drop_out_.forward(x);
+  x = ag::reshape(x, Shape{t_len * b, cfg_.hidden});
+  // Tied decoder: logits = h E^T + bias.
+  ag::Var logits = ag::matmul_nt(x, embed_.weight);
+  return ag::add(logits, decoder_bias_);
+}
+
+void LstmLm::detach(std::vector<nn::LstmState>& state) {
+  for (nn::LstmState& s : state) {
+    if (s.h) s.h = ag::leaf(s.h->value);
+    if (s.c) s.c = ag::leaf(s.c->value);
+  }
+}
+
+int64_t LstmLm::macs_per_token_per_layer() const {
+  const int64_t h = cfg_.hidden, r = cfg_.rank;
+  // Vanilla: 4(dh + h^2) with d == h. Factorized: 4dr + 12hr (Table 1).
+  return r > 0 ? 4 * h * r + 12 * h * r : 8 * h * h;
+}
+
+int64_t LstmLm::macs_per_token() const {
+  // All layers plus the tied decoder matvec (embedding lookup excluded,
+  // following the Table 2 caption).
+  return cfg_.layers * macs_per_token_per_layer() + cfg_.hidden * cfg_.vocab;
+}
+
+}  // namespace pf::models

@@ -1,0 +1,69 @@
+// 2-layer stacked LSTM language model (appendix Table 12): tied
+// encoder/decoder embedding (Press & Wolf), dropout 0.65 around and between
+// the LSTM layers, and a decoder bias. With the paper's dimensions
+// (vocab 33278, hidden 1500, rank 375) the vanilla model has exactly
+// 85,962,278 parameters and the Pufferfish model 67,962,278 (Table 2).
+#pragma once
+
+#include <memory>
+
+#include "nn/lstm.h"
+
+namespace pf::models {
+
+struct LstmLmConfig {
+  int64_t vocab = 33278;
+  int64_t hidden = 1500;  // embedding dim == hidden dim (tied weights)
+  int64_t layers = 2;
+  float dropout = 0.65f;
+  // 0 = vanilla; otherwise the per-gate factorization rank (paper: 375).
+  int64_t rank = 0;
+
+  static LstmLmConfig paper_vanilla() { return {}; }
+  static LstmLmConfig paper_pufferfish() {
+    LstmLmConfig c;
+    c.rank = 375;
+    return c;
+  }
+  // CPU-trainable scale used by the benches.
+  static LstmLmConfig tiny(int64_t rank = 0) {
+    LstmLmConfig c;
+    c.vocab = 200;
+    c.hidden = 64;
+    c.dropout = 0.2f;
+    c.rank = rank;
+    return c;
+  }
+};
+
+class LstmLm : public nn::Module {
+ public:
+  LstmLm(const LstmLmConfig& cfg, Rng& rng);
+  std::string type_name() const override { return "LstmLm"; }
+
+  // ids: (T*B) time-major token ids laid out as T rows of B columns.
+  // Returns logits (T*B, vocab). `state` carries hidden state across
+  // truncated-BPTT segments (pass nullptr for stateless use).
+  ag::Var forward(const std::vector<int64_t>& ids, int64_t t_len, int64_t b,
+                  std::vector<nn::LstmState>* state);
+
+  // Detach a carried state so gradients do not flow across segments.
+  static void detach(std::vector<nn::LstmState>& state);
+
+  // MACs per token. The paper's Table 2 reports the per-layer figure
+  // (18M vanilla / 9M Pufferfish at paper scale: 4(dh+h^2) vs 4dr+12hr);
+  // `macs_per_token` additionally includes all layers + tied decoder.
+  int64_t macs_per_token_per_layer() const;
+  int64_t macs_per_token() const;
+
+  const LstmLmConfig& config() const { return cfg_; }
+
+ private:
+  LstmLmConfig cfg_;
+  nn::Embedding embed_;
+  std::vector<std::unique_ptr<nn::LstmBase>> lstm_;
+  nn::Dropout drop_in_, drop_mid_, drop_out_;
+  ag::Var decoder_bias_;  // decoder weight is tied to embed_.weight
+};
+
+}  // namespace pf::models

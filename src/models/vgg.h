@@ -1,0 +1,81 @@
+// VGG-19-BN for CIFAR-scale inputs, exactly as the paper's appendix
+// Table 11 configures it: 16 conv layers (each followed by BatchNorm+ReLU),
+// max-pools after convs 2/4/8/12/16, then FC 512-512-512-classes.
+// The hybrid variant factorizes conv layers with index >= K and the two
+// hidden FC layers at rank ratio 0.25; the classifier FC is never factorized
+// (its rank equals the class count). The LTH-comparison variant (appendix
+// Table 18) replaces the three FC layers with a single 512 -> classes FC.
+//
+// Vanilla VGG-19-BN here has exactly 20,560,330 parameters and the hybrid
+// (K = 10) exactly 8,370,634 -- the paper's Table 4 numbers (unit-tested).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace pf::models {
+
+enum class VggVariant { kVgg19, kVgg11 };
+
+struct VggConfig {
+  VggVariant variant = VggVariant::kVgg19;
+  int64_t num_classes = 10;
+  int64_t in_channels = 3;
+  // 1-based index of the first factorized conv layer; 0 = fully vanilla;
+  // 1 = every conv except none kept (the "low-rank from scratch" ablation
+  // keeps conv1 full-rank per Section 3, so the minimum useful K is 2).
+  int k_first_lowrank = 0;
+  double rank_ratio = 0.25;
+  // Factorize the two hidden FC layers (ignored for lth_classifier).
+  bool factorize_fc = true;
+  // Single-FC classifier head used for the LTH comparison (Table 18).
+  bool lth_classifier = false;
+  // Width multiplier for CPU-scale training runs (1.0 = paper size).
+  double width_mult = 1.0;
+
+  static VggConfig vanilla() { return {}; }
+  static VggConfig pufferfish(int k = 10) {
+    VggConfig c;
+    c.k_first_lowrank = k;
+    return c;
+  }
+  // VGG-11-BN (Figure 2(a) uses it for the from-scratch low-rank study).
+  static VggConfig vgg11(int k_first_lowrank = 0) {
+    VggConfig c;
+    c.variant = VggVariant::kVgg11;
+    c.k_first_lowrank = k_first_lowrank;
+    return c;
+  }
+};
+
+class Vgg19 : public nn::UnaryModule {
+ public:
+  Vgg19(const VggConfig& cfg, Rng& rng);
+  std::string type_name() const override { return "Vgg"; }
+  // (N, C, H, W) -> (N, classes) logits. H = W = 32 at paper scale.
+  ag::Var forward(const ag::Var& x) override;
+
+  // Analytic forward multiply-accumulate count for an h x w input
+  // (the paper's "MACs" metric; Table 4 reports 0.4 G vanilla, 0.29 G
+  // Pufferfish for 32x32 inputs).
+  int64_t forward_macs(int64_t h, int64_t w) const;
+
+  const VggConfig& config() const { return cfg_; }
+
+ private:
+  VggConfig cfg_;
+  nn::Sequential features_;
+  nn::Sequential classifier_;
+  // Geometry of every conv, recorded for MAC accounting.
+  struct ConvSpec {
+    int64_t c_in, c_out, rank;  // rank 0 = dense
+    bool pool_after;
+  };
+  std::vector<ConvSpec> conv_specs_;
+  std::vector<std::pair<int64_t, int64_t>> fc_specs_;  // (in, out)
+  std::vector<int64_t> fc_ranks_;                      // 0 = dense
+};
+
+}  // namespace pf::models

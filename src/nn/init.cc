@@ -1,0 +1,33 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace pf::nn::init {
+
+Tensor kaiming_normal_conv(Shape shape, Rng& rng) {
+  // fan_out = c_out * k * k for a (c_out, c_in, k, k) weight.
+  const int64_t fan_out = shape[0] * shape[2] * shape[3];
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_out));
+  return rng.randn(std::move(shape), 0.0f, stddev);
+}
+
+Tensor kaiming_uniform_default(Shape shape, int64_t fan_in, Rng& rng) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return rng.rand(std::move(shape), -bound, bound);
+}
+
+Tensor uniform(Shape shape, float bound, Rng& rng) {
+  return rng.rand(std::move(shape), -bound, bound);
+}
+
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return rng.rand(std::move(shape), -bound, bound);
+}
+
+Tensor normal(Shape shape, float stddev, Rng& rng) {
+  return rng.randn(std::move(shape), 0.0f, stddev);
+}
+
+}  // namespace pf::nn::init

@@ -1,0 +1,27 @@
+// Weight initialization schemes (PyTorch-compatible defaults, since the
+// paper's models are "initialized following the PyTorch example" recipes).
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace pf::nn::init {
+
+// Kaiming-normal with fan_out mode and ReLU gain: N(0, sqrt(2/fan_out)).
+// PyTorch's ResNet example initializes conv weights this way.
+Tensor kaiming_normal_conv(Shape shape, Rng& rng);
+
+// PyTorch nn.Linear / nn.Conv2d default: kaiming_uniform(a=sqrt(5)), which
+// reduces to U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+Tensor kaiming_uniform_default(Shape shape, int64_t fan_in, Rng& rng);
+
+// U(-bound, bound).
+Tensor uniform(Shape shape, float bound, Rng& rng);
+
+// Xavier/Glorot uniform: U(+-sqrt(6/(fan_in+fan_out))).
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+// N(0, stddev).
+Tensor normal(Shape shape, float stddev, Rng& rng);
+
+}  // namespace pf::nn::init

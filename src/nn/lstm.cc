@@ -1,0 +1,113 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace pf::nn {
+
+namespace {
+
+// Shared cell update: takes pre-activation gates (B, 4h) and previous cell
+// state, returns (h_t, c_t).
+std::pair<ag::Var, ag::Var> lstm_cell(const ag::Var& gates, const ag::Var& c,
+                                      int64_t h) {
+  ag::Var gi = ag::sigmoid(ag::slice(gates, 1, 0 * h, h));
+  ag::Var gf = ag::sigmoid(ag::slice(gates, 1, 1 * h, h));
+  ag::Var gg = ag::tanh(ag::slice(gates, 1, 2 * h, h));
+  ag::Var go = ag::sigmoid(ag::slice(gates, 1, 3 * h, h));
+  ag::Var ct = ag::add(ag::mul(gf, c), ag::mul(gi, gg));
+  ag::Var ht = ag::mul(go, ag::tanh(ct));
+  return {ht, ct};
+}
+
+ag::Var zeros_state(int64_t b, int64_t h) {
+  return ag::leaf(Tensor::zeros(Shape{b, h}));
+}
+
+}  // namespace
+
+LSTMLayer::LSTMLayer(int64_t input_dim, int64_t hidden, Rng& rng)
+    : d_(input_dim), h_(hidden) {
+  // PyTorch LSTM init: U(-1/sqrt(h), 1/sqrt(h)) on every weight.
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden));
+  w_ih = add_param("w_ih", init::uniform(Shape{4 * hidden, input_dim}, bound, rng));
+  w_hh = add_param("w_hh", init::uniform(Shape{4 * hidden, hidden}, bound, rng));
+  bias = add_param("bias", init::uniform(Shape{4 * hidden}, bound, rng),
+                   /*no_decay=*/true);
+}
+
+ag::Var LSTMLayer::forward(const ag::Var& x, LstmState* state) {
+  const int64_t t_len = x->value.size(0), b = x->value.size(1);
+  ag::Var h = (state && state->h) ? state->h : zeros_state(b, h_);
+  ag::Var c = (state && state->c) ? state->c : zeros_state(b, h_);
+  std::vector<ag::Var> outputs;
+  outputs.reserve(static_cast<size_t>(t_len));
+  for (int64_t t = 0; t < t_len; ++t) {
+    ag::Var xt = ag::reshape(ag::slice(x, 0, t, 1), Shape{b, d_});
+    ag::Var gates = ag::add(
+        ag::add(ag::matmul_nt(xt, w_ih), ag::matmul_nt(h, w_hh)), bias);
+    auto [ht, ct] = lstm_cell(gates, c, h_);
+    h = ht;
+    c = ct;
+    outputs.push_back(ag::reshape(ht, Shape{1, b, h_}));
+  }
+  if (state) {
+    state->h = h;
+    state->c = c;
+  }
+  return ag::concat(outputs, 0);
+}
+
+LowRankLSTMLayer::LowRankLSTMLayer(int64_t input_dim, int64_t hidden,
+                                   int64_t rank, Rng& rng)
+    : d_(input_dim), h_(hidden), r_(rank) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden));
+  // Factor pairs get sqrt(bound)-scaled entries so the product U V^T has the
+  // same scale as a vanilla weight.
+  const float fb = std::sqrt(bound);
+  static const char* kGate = "ifgo";
+  for (int gate = 0; gate < 4; ++gate) {
+    const std::string g(1, kGate[gate]);
+    u_ih[static_cast<size_t>(gate)] = add_param(
+        "u_i" + g, init::uniform(Shape{hidden, rank}, fb, rng));
+    v_ih[static_cast<size_t>(gate)] = add_param(
+        "v_i" + g, init::uniform(Shape{input_dim, rank}, fb, rng));
+    u_hh[static_cast<size_t>(gate)] = add_param(
+        "u_h" + g, init::uniform(Shape{hidden, rank}, fb, rng));
+    v_hh[static_cast<size_t>(gate)] = add_param(
+        "v_h" + g, init::uniform(Shape{hidden, rank}, fb, rng));
+  }
+  bias = add_param("bias", init::uniform(Shape{4 * hidden}, bound, rng),
+                   /*no_decay=*/true);
+}
+
+ag::Var LowRankLSTMLayer::forward(const ag::Var& x, LstmState* state) {
+  const int64_t t_len = x->value.size(0), b = x->value.size(1);
+  ag::Var h = (state && state->h) ? state->h : zeros_state(b, h_);
+  ag::Var c = (state && state->c) ? state->c : zeros_state(b, h_);
+  std::vector<ag::Var> outputs;
+  outputs.reserve(static_cast<size_t>(t_len));
+  for (int64_t t = 0; t < t_len; ++t) {
+    ag::Var xt = ag::reshape(ag::slice(x, 0, t, 1), Shape{b, d_});
+    std::vector<ag::Var> gate_parts;
+    gate_parts.reserve(4);
+    for (size_t gate = 0; gate < 4; ++gate) {
+      ag::Var zi = ag::matmul_nt(ag::matmul(xt, v_ih[gate]), u_ih[gate]);
+      ag::Var zh = ag::matmul_nt(ag::matmul(h, v_hh[gate]), u_hh[gate]);
+      gate_parts.push_back(ag::add(zi, zh));
+    }
+    ag::Var gates = ag::add(ag::concat(gate_parts, 1), bias);
+    auto [ht, ct] = lstm_cell(gates, c, h_);
+    h = ht;
+    c = ct;
+    outputs.push_back(ag::reshape(ht, Shape{1, b, h_}));
+  }
+  if (state) {
+    state->h = h;
+    state->c = c;
+  }
+  return ag::concat(outputs, 0);
+}
+
+}  // namespace pf::nn

@@ -1,0 +1,90 @@
+#include "nn/module.h"
+
+#include <stdexcept>
+
+namespace pf::nn {
+
+std::vector<Param*> Module::parameters() {
+  std::vector<Param*> out;
+  for (Param& p : params_) out.push_back(&p);
+  for (Module* c : children_) {
+    auto sub = c->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::num_params() {
+  int64_t n = 0;
+  for (Param* p : parameters()) n += p->var->numel();
+  return n;
+}
+
+void Module::train(bool mode) {
+  training_ = mode;
+  for (Module* c : children_) c->train(mode);
+}
+
+void Module::zero_grad() {
+  for (Param* p : parameters()) p->var->zero_grad();
+}
+
+Tensor Module::flat_params() {
+  Tensor flat(Shape{num_params()});
+  int64_t off = 0;
+  for (Param* p : parameters()) {
+    const Tensor& v = p->var->value;
+    std::copy(v.data(), v.data() + v.numel(), flat.data() + off);
+    off += v.numel();
+  }
+  return flat;
+}
+
+void Module::set_flat_params(const Tensor& flat) {
+  if (flat.numel() != num_params())
+    throw std::runtime_error("set_flat_params: size mismatch");
+  int64_t off = 0;
+  for (Param* p : parameters()) {
+    Tensor& v = p->var->value;
+    std::copy(flat.data() + off, flat.data() + off + v.numel(), v.data());
+    off += v.numel();
+  }
+}
+
+Tensor Module::flat_grads() {
+  Tensor flat(Shape{num_params()});
+  int64_t off = 0;
+  for (Param* p : parameters()) {
+    if (p->var->has_grad()) {
+      const Tensor& g = p->var->grad;
+      std::copy(g.data(), g.data() + g.numel(), flat.data() + off);
+    }
+    off += p->var->numel();
+  }
+  return flat;
+}
+
+void Module::set_flat_grads(const Tensor& flat) {
+  if (flat.numel() != num_params())
+    throw std::runtime_error("set_flat_grads: size mismatch");
+  int64_t off = 0;
+  for (Param* p : parameters()) {
+    Tensor g(p->var->value.shape());
+    std::copy(flat.data() + off, flat.data() + off + g.numel(), g.data());
+    p->var->grad = std::move(g);
+    off += p->var->numel();
+  }
+}
+
+ag::Var Module::add_param(std::string name, Tensor init, bool no_decay) {
+  ag::Var v = ag::leaf(std::move(init), /*requires_grad=*/true);
+  params_.push_back(Param{std::move(name), v, no_decay});
+  return v;
+}
+
+Tensor* Module::add_buffer(std::string name, Tensor init) {
+  buffers_.push_back(Buffer{std::move(name), std::move(init)});
+  return &buffers_.back().value;
+}
+
+}  // namespace pf::nn

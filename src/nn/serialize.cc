@@ -1,0 +1,79 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pf::nn {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x50554646434B5031ull;  // "PUFFCKP1"
+
+// Collect parameter and buffer tensors depth-first, params first per module
+// (the same order the module tree exposes them).
+void collect(Module& m, std::vector<Tensor*>& out) {
+  for (Param& p : m.local_params()) out.push_back(&p.var->value);
+  for (Buffer& b : m.local_buffers()) out.push_back(&b.value);
+  for (Module* c : m.children()) collect(*c, out);
+}
+
+void write_u64(std::ofstream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::ifstream& is) {
+  uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: unexpected end of file");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(Module& module, const std::string& path) {
+  std::vector<Tensor*> tensors;
+  collect(module, tensors);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_u64(os, kMagic);
+  write_u64(os, tensors.size());
+  for (Tensor* t : tensors) {
+    write_u64(os, static_cast<uint64_t>(t->dim()));
+    for (int64_t d = 0; d < t->dim(); ++d)
+      write_u64(os, static_cast<uint64_t>(t->size(d)));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed: " + path);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::vector<Tensor*> tensors;
+  collect(module, tensors);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (read_u64(is) != kMagic)
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  const uint64_t count = read_u64(is);
+  if (count != tensors.size())
+    throw std::runtime_error(
+        "checkpoint: tensor count mismatch (file " + std::to_string(count) +
+        ", model " + std::to_string(tensors.size()) + ")");
+  for (Tensor* t : tensors) {
+    const uint64_t dim = read_u64(is);
+    Shape shape(dim);
+    for (uint64_t d = 0; d < dim; ++d)
+      shape[d] = static_cast<int64_t>(read_u64(is));
+    if (shape != t->shape())
+      throw std::runtime_error("checkpoint: shape mismatch: file " +
+                               shape_str(shape) + " vs model " +
+                               shape_str(t->shape()));
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+  }
+}
+
+}  // namespace pf::nn

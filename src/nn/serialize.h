@@ -1,0 +1,21 @@
+// Checkpointing: save/load all parameters and buffers of a module tree to a
+// simple binary format. The format stores per-tensor shapes so mismatched
+// architectures fail loudly instead of loading garbage -- the usual failure
+// mode when checkpointing a vanilla model and loading it into a hybrid.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace pf::nn {
+
+// Writes every parameter and buffer (depth-first order) to `path`.
+// Throws std::runtime_error on I/O failure.
+void save_checkpoint(Module& module, const std::string& path);
+
+// Loads a checkpoint written by save_checkpoint into a structurally
+// identical module tree. Throws on I/O failure, magic/shape/count mismatch.
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace pf::nn

@@ -1,0 +1,159 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace pf::nn {
+
+std::unique_ptr<UnaryModule> make_projection(int64_t in, int64_t out,
+                                             int64_t rank, bool bias,
+                                             Rng& rng) {
+  if (rank <= 0) return std::make_unique<Linear>(in, out, rng, bias);
+  return std::make_unique<LowRankLinear>(in, out, rank, rng, bias);
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t dm, int64_t heads,
+                                       float dropout_p, int64_t rank, Rng& rng,
+                                       uint64_t dropout_seed)
+    : dm_(dm),
+      heads_(heads),
+      dh_(dm / heads),
+      wq_(make_projection(dm, dm, rank, /*bias=*/false, rng)),
+      wk_(make_projection(dm, dm, rank, /*bias=*/false, rng)),
+      wv_(make_projection(dm, dm, rank, /*bias=*/false, rng)),
+      wo_(make_projection(dm, dm, rank, /*bias=*/false, rng)),
+      attn_dropout_(dropout_p, dropout_seed) {
+  register_child(wq_.get());
+  register_child(wk_.get());
+  register_child(wv_.get());
+  register_child(wo_.get());
+  register_child(&attn_dropout_);
+}
+
+ag::Var MultiHeadAttention::project(UnaryModule& proj, const ag::Var& x,
+                                    int64_t out_dim) {
+  const int64_t b = x->value.size(0), l = x->value.size(1);
+  ag::Var flat = ag::reshape(x, Shape{b * l, x->value.size(2)});
+  return ag::reshape(proj.forward(flat), Shape{b, l, out_dim});
+}
+
+ag::Var MultiHeadAttention::forward(const ag::Var& q, const ag::Var& k,
+                                    const ag::Var& v, const Tensor* mask) {
+  const int64_t b = q->value.size(0);
+  const int64_t lq = q->value.size(1), lk = k->value.size(1);
+
+  auto split_heads = [&](const ag::Var& x, int64_t l) {
+    // (B, L, dm) -> (B*H, L, dh)
+    ag::Var r = ag::reshape(x, Shape{b, l, heads_, dh_});
+    r = ag::transpose(r, {0, 2, 1, 3});  // (B, H, L, dh)
+    return ag::reshape(r, Shape{b * heads_, l, dh_});
+  };
+
+  ag::Var qh = split_heads(project(*wq_, q, dm_), lq);
+  ag::Var kh = split_heads(project(*wk_, k, dm_), lk);
+  ag::Var vh = split_heads(project(*wv_, v, dm_), lk);
+
+  // Scaled dot-product attention.
+  ag::Var scores = ag::mul_scalar(
+      ag::bmm_nt(qh, kh), 1.0f / std::sqrt(static_cast<float>(dh_)));
+  if (mask) scores = ag::add_constant(scores, *mask);
+  ag::Var weights = attn_dropout_.forward(ag::softmax(scores));
+  ag::Var ctx = ag::bmm(weights, vh);  // (B*H, Lq, dh)
+
+  // Merge heads back: (B*H, Lq, dh) -> (B, Lq, dm).
+  ctx = ag::reshape(ctx, Shape{b, heads_, lq, dh_});
+  ctx = ag::transpose(ctx, {0, 2, 1, 3});
+  ctx = ag::reshape(ctx, Shape{b, lq, dm_});
+  return project(*wo_, ctx, dm_);
+}
+
+FeedForward::FeedForward(int64_t dm, int64_t hidden, int64_t rank, Rng& rng)
+    : dm_(dm),
+      w1_(make_projection(dm, hidden, rank, /*bias=*/true, rng)),
+      w2_(make_projection(hidden, dm, rank, /*bias=*/true, rng)) {
+  register_child(w1_.get());
+  register_child(w2_.get());
+}
+
+ag::Var FeedForward::forward(const ag::Var& x) {
+  const int64_t b = x->value.size(0), l = x->value.size(1);
+  ag::Var flat = ag::reshape(x, Shape{b * l, dm_});
+  ag::Var h = ag::relu(w1_->forward(flat));
+  return ag::reshape(w2_->forward(h), Shape{b, l, dm_});
+}
+
+EncoderLayer::EncoderLayer(int64_t dm, int64_t heads, float dropout_p,
+                           int64_t rank, Rng& rng, uint64_t seed)
+    : attn_(dm, heads, dropout_p, rank, rng, seed),
+      ffn_(dm, 4 * dm, rank, rng),
+      ln1_(dm),
+      ln2_(dm),
+      drop1_(dropout_p, seed + 1),
+      drop2_(dropout_p, seed + 2) {
+  register_child(&attn_);
+  register_child(&ffn_);
+  register_child(&ln1_);
+  register_child(&ln2_);
+  register_child(&drop1_);
+  register_child(&drop2_);
+}
+
+ag::Var EncoderLayer::forward(const ag::Var& x, const Tensor* src_mask) {
+  ag::Var a = drop1_.forward(attn_.forward(x, x, x, src_mask));
+  ag::Var h = ln1_.forward(ag::add(x, a));
+  ag::Var f = drop2_.forward(ffn_.forward(h));
+  return ln2_.forward(ag::add(h, f));
+}
+
+DecoderLayer::DecoderLayer(int64_t dm, int64_t heads, float dropout_p,
+                           int64_t rank, Rng& rng, uint64_t seed)
+    : self_attn_(dm, heads, dropout_p, rank, rng, seed),
+      cross_attn_(dm, heads, dropout_p, rank, rng, seed + 10),
+      ffn_(dm, 4 * dm, rank, rng),
+      ln1_(dm),
+      ln2_(dm),
+      ln3_(dm),
+      drop1_(dropout_p, seed + 11),
+      drop2_(dropout_p, seed + 12),
+      drop3_(dropout_p, seed + 13) {
+  register_child(&self_attn_);
+  register_child(&cross_attn_);
+  register_child(&ffn_);
+  register_child(&ln1_);
+  register_child(&ln2_);
+  register_child(&ln3_);
+  register_child(&drop1_);
+  register_child(&drop2_);
+  register_child(&drop3_);
+}
+
+ag::Var DecoderLayer::forward(const ag::Var& x, const ag::Var& memory,
+                              const Tensor* tgt_mask, const Tensor* src_mask) {
+  ag::Var a = drop1_.forward(self_attn_.forward(x, x, x, tgt_mask));
+  ag::Var h = ln1_.forward(ag::add(x, a));
+  ag::Var ca = drop2_.forward(cross_attn_.forward(h, memory, memory, src_mask));
+  h = ln2_.forward(ag::add(h, ca));
+  ag::Var f = drop3_.forward(ffn_.forward(h));
+  return ln3_.forward(ag::add(h, f));
+}
+
+Tensor positional_encoding(int64_t max_len, int64_t dm) {
+  Tensor pe(Shape{max_len, dm});
+  for (int64_t pos = 0; pos < max_len; ++pos)
+    for (int64_t i = 0; i < dm; i += 2) {
+      const double angle =
+          pos / std::pow(10000.0, static_cast<double>(i) / dm);
+      pe[pos * dm + i] = static_cast<float>(std::sin(angle));
+      if (i + 1 < dm) pe[pos * dm + i + 1] = static_cast<float>(std::cos(angle));
+    }
+  return pe;
+}
+
+Tensor causal_mask(int64_t len) {
+  Tensor m(Shape{len, len});
+  for (int64_t i = 0; i < len; ++i)
+    for (int64_t j = 0; j < len; ++j)
+      m[i * len + j] = j > i ? -1e9f : 0.0f;
+  return m;
+}
+
+}  // namespace pf::nn

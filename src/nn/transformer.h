@@ -1,0 +1,93 @@
+// Transformer building blocks (paper Section 2.4, appendix Tables 16/17).
+//
+// Attention projections are bias-free (matching the paper's 4p^2d^2 count);
+// FFN layers keep their biases; normalization is post-LN as in the original
+// Transformer. Low-rank variants factorize the *combined* (pd x pd)
+// projection matrices and both FFN matrices at the given rank, exactly as
+// the appendix configures (U^Q in R^{512x128}, V^{Q^T} in R^{128x512}, ...).
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace pf::nn {
+
+// Creates a dense Linear when rank == 0, else a LowRankLinear.
+std::unique_ptr<UnaryModule> make_projection(int64_t in, int64_t out,
+                                             int64_t rank, bool bias,
+                                             Rng& rng);
+
+class MultiHeadAttention : public Module {
+ public:
+  // dm = model dim (= p*d in the paper's notation); rank 0 = full-rank.
+  MultiHeadAttention(int64_t dm, int64_t heads, float dropout_p, int64_t rank,
+                     Rng& rng, uint64_t dropout_seed);
+  std::string type_name() const override { return "MultiHeadAttention"; }
+
+  // q: (B, Lq, dm); k, v: (B, Lk, dm). `mask` (optional) is an additive
+  // tensor broadcastable to (B*heads, Lq, Lk) with 0 = keep, -1e9 = drop.
+  ag::Var forward(const ag::Var& q, const ag::Var& k, const ag::Var& v,
+                  const Tensor* mask);
+
+  int64_t dm() const { return dm_; }
+  int64_t heads() const { return heads_; }
+
+ private:
+  // Applies a projection over the last dim of a (B, L, dm) tensor.
+  ag::Var project(UnaryModule& proj, const ag::Var& x, int64_t out_dim);
+
+  int64_t dm_, heads_, dh_;
+  std::unique_ptr<UnaryModule> wq_, wk_, wv_, wo_;
+  Dropout attn_dropout_;
+};
+
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dm, int64_t hidden, int64_t rank, Rng& rng);
+  std::string type_name() const override { return "FeedForward"; }
+  // (B, L, dm) -> (B, L, dm).
+  ag::Var forward(const ag::Var& x);
+
+ private:
+  int64_t dm_;
+  std::unique_ptr<UnaryModule> w1_, w2_;
+};
+
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(int64_t dm, int64_t heads, float dropout_p, int64_t rank,
+               Rng& rng, uint64_t seed);
+  std::string type_name() const override { return "EncoderLayer"; }
+  ag::Var forward(const ag::Var& x, const Tensor* src_mask);
+
+ private:
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  LayerNorm ln1_, ln2_;
+  Dropout drop1_, drop2_;
+};
+
+class DecoderLayer : public Module {
+ public:
+  DecoderLayer(int64_t dm, int64_t heads, float dropout_p, int64_t rank,
+               Rng& rng, uint64_t seed);
+  std::string type_name() const override { return "DecoderLayer"; }
+  ag::Var forward(const ag::Var& x, const ag::Var& memory,
+                  const Tensor* tgt_mask, const Tensor* src_mask);
+
+ private:
+  MultiHeadAttention self_attn_, cross_attn_;
+  FeedForward ffn_;
+  LayerNorm ln1_, ln2_, ln3_;
+  Dropout drop1_, drop2_, drop3_;
+};
+
+// Sinusoidal positional encoding table: (max_len, dm), constant.
+Tensor positional_encoding(int64_t max_len, int64_t dm);
+
+// Causal (subsequent-position) mask: (len, len), 0 on/below diagonal,
+// -1e9 above.
+Tensor causal_mask(int64_t len);
+
+}  // namespace pf::nn

@@ -1,0 +1,127 @@
+#include "optim/optim.h"
+
+#include <cmath>
+
+namespace pf::optim {
+
+void Optimizer::zero_grad() {
+  for (nn::Param* p : params_) p->var->zero_grad();
+}
+
+SGD::SGD(std::vector<nn::Param*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (nn::Param* p : params_)
+      velocity_.emplace_back(p->var->value.shape());
+  }
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Param* p = params_[i];
+    if (!p->var->has_grad()) continue;
+    Tensor& w = p->var->value;
+    const Tensor& g = p->var->grad;
+    const float wd = p->no_decay ? 0.0f : weight_decay_;
+    if (momentum_ != 0.0f) {
+      Tensor& vel = velocity_[i];
+      for (int64_t j = 0; j < w.numel(); ++j) {
+        const float grad = g[j] + wd * w[j];
+        vel[j] = momentum_ * vel[j] + grad;
+        w[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < w.numel(); ++j)
+        w[j] -= lr_ * (g[j] + wd * w[j]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<nn::Param*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Param* p : params_) {
+    m_.emplace_back(p->var->value.shape());
+    v_.emplace_back(p->var->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Param* p = params_[i];
+    if (!p->var->has_grad()) continue;
+    Tensor& w = p->var->value;
+    const Tensor& g = p->var->grad;
+    const float wd = p->no_decay ? 0.0f : weight_decay_;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = beta1_ * m[j] + (1 - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1 - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float clip_grad_norm(const std::vector<nn::Param*>& params, float max_norm) {
+  double total = 0;
+  for (nn::Param* p : params) {
+    if (!p->var->has_grad()) continue;
+    const Tensor& g = p->var->grad;
+    for (int64_t j = 0; j < g.numel(); ++j)
+      total += static_cast<double>(g[j]) * g[j];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0) {
+    const float scale = max_norm / norm;
+    for (nn::Param* p : params) {
+      if (!p->var->has_grad()) continue;
+      p->var->grad.mul_(scale);
+    }
+  }
+  return norm;
+}
+
+float StepDecay::at_epoch(int epoch) const {
+  float lr = lr0_;
+  for (int m : milestones_)
+    if (epoch >= m) lr *= factor_;
+  return lr;
+}
+
+float WarmupThenStep::at_epoch(int epoch) const {
+  if (epoch < warmup_) {
+    const float frac = static_cast<float>(epoch + 1) / warmup_;
+    return start_ + (peak_ - start_) * frac;
+  }
+  return step_.at_epoch(epoch);
+}
+
+float ReduceOnPlateau::observe(float metric) {
+  if (metric < best_) {
+    best_ = metric;
+  } else {
+    lr_ *= factor_;
+  }
+  return lr_;
+}
+
+}  // namespace pf::optim

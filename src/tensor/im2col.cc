@@ -1,0 +1,55 @@
+#include "tensor/im2col.h"
+
+namespace pf {
+
+void im2col(const float* img, const ConvGeom& g, float* col) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow;
+  // Column layout: row index = (c*k + ki)*k + kj, col index = oy*ow + ox.
+  for (int64_t c = 0; c < g.c_in; ++c) {
+    const float* plane = img + c * g.h * g.w;
+    for (int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (int64_t kj = 0; kj < g.kernel; ++kj) {
+        float* crow = col + ((c * g.kernel + ki) * g.kernel + kj) * spatial;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * g.stride - g.pad + ki;
+          if (iy < 0 || iy >= g.h) {
+            for (int64_t ox = 0; ox < ow; ++ox) crow[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* srow = plane + iy * g.w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * g.stride - g.pad + kj;
+            crow[oy * ow + ox] =
+                (ix >= 0 && ix < g.w) ? srow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeom& g, float* img) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow;
+  for (int64_t c = 0; c < g.c_in; ++c) {
+    float* plane = img + c * g.h * g.w;
+    for (int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (int64_t kj = 0; kj < g.kernel; ++kj) {
+        const float* crow =
+            col + ((c * g.kernel + ki) * g.kernel + kj) * spatial;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * g.stride - g.pad + ki;
+          if (iy < 0 || iy >= g.h) continue;
+          float* srow = plane + iy * g.w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * g.stride - g.pad + kj;
+            if (ix >= 0 && ix < g.w) srow[ix] += crow[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pf

@@ -1,0 +1,29 @@
+// im2col / col2im lowering for convolution.
+//
+// Convolutions in this repo are computed by lowering each image to a column
+// matrix of receptive-field patches and calling the matmul kernel -- the same
+// strategy cuDNN's GEMM algorithm uses, and the one the paper's MAC
+// accounting (Table 1) assumes.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace pf {
+
+struct ConvGeom {
+  int64_t c_in = 0, h = 0, w = 0;      // input geometry
+  int64_t kernel = 1, stride = 1, pad = 0;
+  int64_t out_h() const { return (h + 2 * pad - kernel) / stride + 1; }
+  int64_t out_w() const { return (w + 2 * pad - kernel) / stride + 1; }
+  int64_t patch() const { return c_in * kernel * kernel; }
+};
+
+// Lower one image (c_in, h, w) to a (c_in*k*k, out_h*out_w) column matrix.
+// `img` points at c_in*h*w floats; `col` at patch()*out_h()*out_w() floats.
+void im2col(const float* img, const ConvGeom& g, float* col);
+
+// Adjoint of im2col: scatter-add columns back into the image gradient.
+// `img` must be pre-zeroed by the caller.
+void col2im(const float* col, const ConvGeom& g, float* img);
+
+}  // namespace pf

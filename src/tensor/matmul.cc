@@ -1,0 +1,169 @@
+#include "tensor/matmul.h"
+
+#include <stdexcept>
+
+namespace pf {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(msg);
+}
+
+constexpr int64_t kBlockK = 128;
+constexpr int64_t kBlockN = 256;
+
+}  // namespace
+
+void matmul_accum(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  // Blocked ikj: for each (i, kk-block, nn-block), the inner loop over j is
+  // contiguous in both b and c.
+  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const int64_t k1 = std::min(k0 + kBlockK, k);
+    for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+      const int64_t n1 = std::min(n0 + kBlockN, n);
+      for (int64_t i = 0; i < m; ++i) {
+        float* crow = c + i * n;
+        const float* arow = a + i * k;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float aval = arow[kk];
+          if (aval == 0.0f) continue;
+          const float* brow = b + kk * n;
+          for (int64_t j = n0; j < n1; ++j) crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 2 && b.dim() == 2, "matmul: 2-D tensors required");
+  check(a.size(1) == b.size(0), "matmul: inner dim mismatch");
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  Tensor c(Shape{m, n});
+  matmul_accum(a.data(), b.data(), c.data(), m, k, n);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 2 && b.dim() == 2, "matmul_tn: 2-D tensors required");
+  check(a.size(0) == b.size(0), "matmul_tn: inner dim mismatch");
+  const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  Tensor c(Shape{m, n});
+  float* cd = c.data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  // c[i,j] = sum_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads
+  // stream contiguously.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = ad + kk * m;
+    const float* brow = bd + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 2 && b.dim() == 2, "matmul_nt: 2-D tensors required");
+  check(a.size(1) == b.size(1), "matmul_nt: inner dim mismatch");
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  Tensor c(Shape{m, n});
+  float* cd = c.data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  // c[i,j] = dot(a_row_i, b_row_j): both rows contiguous. Four independent
+  // float accumulators keep the loop vectorizable (a single double
+  // accumulator serializes the FMA chain and costs ~10x).
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      int64_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 += arow[kk] * brow[kk];
+        acc1 += arow[kk + 1] * brow[kk + 1];
+        acc2 += arow[kk + 2] * brow[kk + 2];
+        acc3 += arow[kk + 3] * brow[kk + 3];
+      }
+      float acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 3 && b.dim() == 3, "bmm: 3-D tensors required");
+  check(a.size(0) == b.size(0) && a.size(2) == b.size(1), "bmm: dim mismatch");
+  const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  Tensor c(Shape{bt, m, n});
+  for (int64_t i = 0; i < bt; ++i)
+    matmul_accum(a.data() + i * m * k, b.data() + i * k * n,
+                 c.data() + i * m * n, m, k, n);
+  return c;
+}
+
+Tensor bmm_nt(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 3 && b.dim() == 3, "bmm_nt: 3-D tensors required");
+  check(a.size(0) == b.size(0) && a.size(2) == b.size(2),
+        "bmm_nt: dim mismatch");
+  const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(1);
+  Tensor c(Shape{bt, m, n});
+  for (int64_t i = 0; i < bt; ++i) {
+    const float* ad = a.data() + i * m * k;
+    const float* bd = b.data() + i * n * k;
+    float* cd = c.data() + i * m * n;
+    for (int64_t r = 0; r < m; ++r)
+      for (int64_t cc = 0; cc < n; ++cc) {
+        const float* arow = ad + r * k;
+        const float* brow = bd + cc * k;
+        float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+        int64_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          acc0 += arow[kk] * brow[kk];
+          acc1 += arow[kk + 1] * brow[kk + 1];
+          acc2 += arow[kk + 2] * brow[kk + 2];
+          acc3 += arow[kk + 3] * brow[kk + 3];
+        }
+        float acc = (acc0 + acc1) + (acc2 + acc3);
+        for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        cd[r * n + cc] = acc;
+      }
+  }
+  return c;
+}
+
+Tensor bmm_tn(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 3 && b.dim() == 3, "bmm_tn: 3-D tensors required");
+  check(a.size(0) == b.size(0) && a.size(1) == b.size(1),
+        "bmm_tn: dim mismatch");
+  const int64_t bt = a.size(0), k = a.size(1), m = a.size(2), n = b.size(2);
+  Tensor c(Shape{bt, m, n});
+  for (int64_t i = 0; i < bt; ++i) {
+    const float* ad = a.data() + i * k * m;
+    const float* bd = b.data() + i * k * n;
+    float* cd = c.data() + i * m * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = ad + kk * m;
+      const float* brow = bd + kk * n;
+      for (int64_t r = 0; r < m; ++r) {
+        const float aval = arow[r];
+        if (aval == 0.0f) continue;
+        float* crow = cd + r * n;
+        for (int64_t cc = 0; cc < n; ++cc) crow[cc] += aval * brow[cc];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace pf

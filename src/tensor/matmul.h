@@ -1,0 +1,33 @@
+// Matrix multiplication kernels.
+//
+// All heavy math in the repo (FC layers, im2col convolution, attention,
+// SVD back-projection, PowerSGD) bottoms out here. The implementation is a
+// cache-blocked triple loop with an ikj inner order so the innermost loop is
+// a contiguous AXPY the compiler can vectorize; no external BLAS is assumed.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace pf {
+
+// C = A @ B for 2-D tensors: (m,k) x (k,n) -> (m,n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// C = A^T @ B: (k,m) x (k,n) -> (m,n), without materializing A^T.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+// C = A @ B^T: (m,k) x (n,k) -> (m,n), without materializing B^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Batched matmul for 3-D tensors: (b,m,k) x (b,k,n) -> (b,m,n).
+Tensor bmm(const Tensor& a, const Tensor& b);
+// Batched (b,m,k) x (b,n,k)^T -> (b,m,n).
+Tensor bmm_nt(const Tensor& a, const Tensor& b);
+// Batched (b,k,m)^T x (b,k,n) -> (b,m,n).
+Tensor bmm_tn(const Tensor& a, const Tensor& b);
+
+// Raw kernel: c[m,n] += a[m,k] @ b[k,n]. Caller guarantees the extents.
+void matmul_accum(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n);
+
+}  // namespace pf

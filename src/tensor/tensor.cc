@@ -1,0 +1,518 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace pf {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw std::runtime_error(msg); }
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) fail(msg);
+}
+
+// Row-major strides for a shape.
+std::vector<int64_t> strides_of(const Shape& shape) {
+  std::vector<int64_t> s(shape.size());
+  int64_t acc = 1;
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 1; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = acc;
+    acc *= shape[static_cast<size_t>(i)];
+  }
+  return s;
+}
+
+}  // namespace
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  check(static_cast<int64_t>(data_.size()) == shape_numel(shape_),
+        "Tensor: data size does not match shape " + shape_str(shape_));
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> v) {
+  const int64_t n = static_cast<int64_t>(v.size());
+  return Tensor(Shape{n}, std::move(v));
+}
+
+int64_t Tensor::size(int64_t d) const {
+  if (d < 0) d += dim();
+  check(d >= 0 && d < dim(), "Tensor::size: dim out of range");
+  return shape_[static_cast<size_t>(d)];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  const auto s = strides_of(shape_);
+  int64_t off = 0;
+  size_t k = 0;
+  for (int64_t i : idx) off += i * s[k++];
+  return data_[static_cast<size_t>(off)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int64_t infer = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      check(infer == -1, "reshape: at most one -1 dim");
+      infer = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer >= 0) {
+    check(known != 0 && numel() % known == 0, "reshape: cannot infer dim");
+    new_shape[static_cast<size_t>(infer)] = numel() / known;
+  }
+  check(shape_numel(new_shape) == numel(),
+        "reshape: numel mismatch " + shape_str(shape_) + " -> " +
+            shape_str(new_shape));
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::transpose(const std::vector<int64_t>& perm) const {
+  check(static_cast<int64_t>(perm.size()) == dim(),
+        "transpose: perm size mismatch");
+  Shape new_shape(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    new_shape[i] = shape_[static_cast<size_t>(perm[i])];
+  Tensor out(new_shape);
+  const auto in_strides = strides_of(shape_);
+  const auto out_strides = strides_of(new_shape);
+  const int64_t n = numel();
+  const int64_t nd = dim();
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  for (int64_t flat = 0; flat < n; ++flat) {
+    // idx holds the multi-index in the *output* layout.
+    int64_t src = 0;
+    for (int64_t d = 0; d < nd; ++d)
+      src += idx[static_cast<size_t>(d)] *
+             in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
+    out.data_[static_cast<size_t>(flat)] = data_[static_cast<size_t>(src)];
+    // Increment multi-index.
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] < new_shape[static_cast<size_t>(d)])
+        break;
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::t() const {
+  check(dim() == 2, "t(): tensor must be 2-D");
+  const int64_t r = shape_[0], c = shape_[1];
+  Tensor out(Shape{c, r});
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < c; ++j)
+      out.data_[static_cast<size_t>(j * r + i)] =
+          data_[static_cast<size_t>(i * c + j)];
+  return out;
+}
+
+Tensor& Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other, float alpha) {
+  check(same_shape(other), "add_: shape mismatch " + shape_str(shape_) +
+                               " vs " + shape_str(other.shape_));
+  const float* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * src[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::apply_(const std::function<float(float)>& f) {
+  for (float& v : data_) v = f(v);
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  check(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  check(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  check(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::norm() const {
+  double acc = 0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+int64_t Tensor::argmax() const {
+  check(!data_.empty(), "argmax of empty tensor");
+  return static_cast<int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  const size_t n = std::max(a.size(), b.size());
+  Shape out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < n - a.size() ? 1 : a[i - (n - a.size())];
+    const int64_t db = i < n - b.size() ? 1 : b[i - (n - b.size())];
+    check(da == db || da == 1 || db == 1,
+          "broadcast: incompatible shapes " + shape_str(a) + " vs " +
+              shape_str(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
+  if (a.shape() == b.shape()) {  // fast path
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const Shape os = broadcast_shape(a.shape(), b.shape());
+  Tensor out(os);
+  const size_t nd = os.size();
+  // Pad shapes on the left with 1s, compute broadcast strides (0 on size-1).
+  auto padded_strides = [&](const Shape& s) {
+    std::vector<int64_t> st(nd, 0);
+    int64_t acc = 1;
+    for (int64_t i = static_cast<int64_t>(s.size()) - 1; i >= 0; --i) {
+      const size_t oi = nd - s.size() + static_cast<size_t>(i);
+      st[oi] = (s[static_cast<size_t>(i)] == 1) ? 0 : acc;
+      acc *= s[static_cast<size_t>(i)];
+    }
+    return st;
+  };
+  const auto sa = padded_strides(a.shape());
+  const auto sb = padded_strides(b.shape());
+  std::vector<int64_t> idx(nd, 0);
+  const int64_t n = out.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t ia = 0, ib = 0;
+    for (size_t d = 0; d < nd; ++d) {
+      ia += idx[d] * sa[d];
+      ib += idx[d] * sb[d];
+    }
+    po[flat] = f(pa[ia], pb[ib]);
+    for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] < os[static_cast<size_t>(d)]) break;
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
+
+Tensor operator*(const Tensor& a, float s) {
+  Tensor out = a;
+  out.mul_(s);
+  return out;
+}
+Tensor operator*(float s, const Tensor& a) { return a * s; }
+Tensor operator+(const Tensor& a, float s) {
+  Tensor out = a;
+  out.apply_([s](float v) { return v + s; });
+  return out;
+}
+Tensor operator-(const Tensor& a) { return a * -1.0f; }
+
+Tensor exp(const Tensor& a) {
+  Tensor out = a;
+  out.apply_([](float v) { return std::exp(v); });
+  return out;
+}
+Tensor log(const Tensor& a) {
+  Tensor out = a;
+  out.apply_([](float v) { return std::log(v); });
+  return out;
+}
+Tensor sqrt(const Tensor& a) {
+  Tensor out = a;
+  out.apply_([](float v) { return std::sqrt(v); });
+  return out;
+}
+Tensor abs(const Tensor& a) {
+  Tensor out = a;
+  out.apply_([](float v) { return std::fabs(v); });
+  return out;
+}
+Tensor pow(const Tensor& a, float p) {
+  Tensor out = a;
+  out.apply_([p](float v) { return std::pow(v, p); });
+  return out;
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out = a;
+  out.apply_([lo, hi](float v) { return std::clamp(v, lo, hi); });
+  return out;
+}
+
+Tensor reduce_to_shape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  // Sum over leading extra dims first.
+  Tensor cur = t;
+  while (cur.dim() > static_cast<int64_t>(target.size()))
+    cur = sum_axis(cur, 0, /*keepdim=*/false);
+  // Then sum over broadcasted (size-1 in target) dims.
+  for (int64_t d = 0; d < cur.dim(); ++d) {
+    if (target[static_cast<size_t>(d)] == 1 && cur.size(d) != 1)
+      cur = sum_axis(cur, d, /*keepdim=*/true);
+  }
+  check(cur.shape() == target, "reduce_to_shape: cannot reduce " +
+                                   shape_str(t.shape()) + " to " +
+                                   shape_str(target));
+  return cur;
+}
+
+namespace {
+
+// Decompose a shape around `axis` into (outer, n, inner) extents.
+struct AxisSplit {
+  int64_t outer, n, inner;
+};
+
+AxisSplit split_axis(const Shape& s, int64_t axis) {
+  AxisSplit sp{1, s[static_cast<size_t>(axis)], 1};
+  for (int64_t i = 0; i < axis; ++i) sp.outer *= s[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(axis) + 1; i < s.size(); ++i)
+    sp.inner *= s[i];
+  return sp;
+}
+
+Shape reduced_shape(const Shape& s, int64_t axis, bool keepdim) {
+  Shape out = s;
+  if (keepdim) {
+    out[static_cast<size_t>(axis)] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor sum_axis(const Tensor& t, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += t.dim();
+  check(axis >= 0 && axis < t.dim(), "sum_axis: bad axis");
+  const auto sp = split_axis(t.shape(), axis);
+  Tensor out(reduced_shape(t.shape(), axis, keepdim));
+  const float* src = t.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < sp.outer; ++o)
+    for (int64_t k = 0; k < sp.n; ++k) {
+      const float* row = src + (o * sp.n + k) * sp.inner;
+      float* orow = dst + o * sp.inner;
+      for (int64_t i = 0; i < sp.inner; ++i) orow[i] += row[i];
+    }
+  return out;
+}
+
+Tensor mean_axis(const Tensor& t, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += t.dim();
+  Tensor out = sum_axis(t, axis, keepdim);
+  out.mul_(1.0f / static_cast<float>(t.size(axis)));
+  return out;
+}
+
+Tensor max_axis(const Tensor& t, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += t.dim();
+  check(axis >= 0 && axis < t.dim(), "max_axis: bad axis");
+  const auto sp = split_axis(t.shape(), axis);
+  Tensor out(reduced_shape(t.shape(), axis, keepdim),
+             -std::numeric_limits<float>::infinity());
+  const float* src = t.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < sp.outer; ++o)
+    for (int64_t k = 0; k < sp.n; ++k) {
+      const float* row = src + (o * sp.n + k) * sp.inner;
+      float* orow = dst + o * sp.inner;
+      for (int64_t i = 0; i < sp.inner; ++i)
+        orow[i] = std::max(orow[i], row[i]);
+    }
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& t) {
+  check(t.dim() == 2, "argmax_rows: 2-D tensor required");
+  const int64_t rows = t.size(0), cols = t.size(1);
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = t.data() + r * cols;
+    out[static_cast<size_t>(r)] = static_cast<int64_t>(
+        std::max_element(row, row + cols) - row);
+  }
+  return out;
+}
+
+Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
+  check(!parts.empty(), "concat: no inputs");
+  if (axis < 0) axis += parts[0].dim();
+  Shape os = parts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    check(p.dim() == parts[0].dim(), "concat: rank mismatch");
+    for (int64_t d = 0; d < p.dim(); ++d)
+      check(d == axis || p.size(d) == parts[0].size(d),
+            "concat: shape mismatch on non-concat axis");
+    total += p.size(axis);
+  }
+  os[static_cast<size_t>(axis)] = total;
+  Tensor out(os);
+  const auto sp = split_axis(os, axis);
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t pn = p.size(axis);
+    const float* src = p.data();
+    for (int64_t o = 0; o < sp.outer; ++o) {
+      float* dst = out.data() + (o * sp.n + offset) * sp.inner;
+      const float* s = src + o * pn * sp.inner;
+      std::copy(s, s + pn * sp.inner, dst);
+    }
+    offset += pn;
+  }
+  return out;
+}
+
+Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len) {
+  if (axis < 0) axis += t.dim();
+  check(axis >= 0 && axis < t.dim(), "slice: bad axis");
+  check(start >= 0 && start + len <= t.size(axis), "slice: out of range");
+  const auto sp = split_axis(t.shape(), axis);
+  Shape os = t.shape();
+  os[static_cast<size_t>(axis)] = len;
+  Tensor out(os);
+  for (int64_t o = 0; o < sp.outer; ++o) {
+    const float* src = t.data() + (o * sp.n + start) * sp.inner;
+    float* dst = out.data() + o * len * sp.inner;
+    std::copy(src, src + len * sp.inner, dst);
+  }
+  return out;
+}
+
+Tensor pad_slice(const Tensor& piece, const Shape& full_shape, int64_t axis,
+                 int64_t start) {
+  int64_t ax = axis < 0 ? axis + static_cast<int64_t>(full_shape.size()) : axis;
+  Tensor out(full_shape);
+  const auto sp = split_axis(full_shape, ax);
+  const int64_t len = piece.size(ax);
+  for (int64_t o = 0; o < sp.outer; ++o) {
+    const float* src = piece.data() + o * len * sp.inner;
+    float* dst = out.data() + (o * sp.n + start) * sp.inner;
+    std::copy(src, src + len * sp.inner, dst);
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return std::numeric_limits<float>::infinity();
+  float m = 0;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float diff = std::fabs(a[i] - b[i]);
+    if (diff > atol + rtol * std::fabs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace pf

@@ -1,0 +1,148 @@
+// Dense row-major float32 n-dimensional tensor.
+//
+// This is the numeric substrate for the whole repository: the autograd tape,
+// the NN layers, the SVD routines, and the gradient compressors all operate
+// on `pf::Tensor`. The design follows value semantics (copies are deep,
+// moves are cheap); views are not exposed -- reshape/transpose materialize.
+// That costs some memory traffic but keeps aliasing out of the picture,
+// which matters for correctness of the tape-based autograd built on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pf {
+
+using Shape = std::vector<int64_t>;
+
+// Number of elements implied by a shape (product of dims; 1 for rank-0).
+int64_t shape_numel(const Shape& shape);
+
+// Human-readable "[2, 3, 4]" form, used in error messages.
+std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor scalar(float v) { return Tensor(Shape{}, {v}); }
+  // 0, 1, ..., n-1 as a 1-D tensor.
+  static Tensor arange(int64_t n);
+  static Tensor from_vector(std::vector<float> v);
+
+  const Shape& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t d) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // Multi-index access (bounds unchecked in release; asserted in debug).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  // Returns a tensor with the same data and a new shape; numel must match.
+  // One dimension may be -1 (inferred).
+  Tensor reshape(Shape new_shape) const;
+
+  // Permute dimensions; materializes the result.
+  Tensor transpose(const std::vector<int64_t>& perm) const;
+  // 2-D transpose convenience.
+  Tensor t() const;
+
+  // Elementwise in-place helpers.
+  Tensor& fill(float v);
+  Tensor& add_(const Tensor& other, float alpha = 1.0f);  // this += alpha*other
+  Tensor& mul_(float s);
+  Tensor& zero_() { return fill(0.0f); }
+  Tensor& apply_(const std::function<float(float)>& f);
+
+  // Reductions over all elements.
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  // L2 norm of the flattened tensor.
+  float norm() const;
+  int64_t argmax() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- Elementwise binary ops with full numpy-style broadcasting. ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, const Tensor& b);
+Tensor operator/(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, float s);
+Tensor operator*(float s, const Tensor& a);
+Tensor operator+(const Tensor& a, float s);
+Tensor operator-(const Tensor& a);
+
+// Elementwise unary.
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor pow(const Tensor& a, float p);
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+// Broadcast shape of two shapes (throws on mismatch).
+Shape broadcast_shape(const Shape& a, const Shape& b);
+
+// Reduce `t` (which has shape broadcast-compatible with `target`) by summing
+// over the broadcasted dimensions so the result has shape `target`.
+// This is the adjoint of broadcasting and is what autograd uses.
+Tensor reduce_to_shape(const Tensor& t, const Shape& target);
+
+// ---- Axis reductions. ----
+// Sum over one axis; if keepdim, that axis becomes 1, else it is removed.
+Tensor sum_axis(const Tensor& t, int64_t axis, bool keepdim = false);
+Tensor mean_axis(const Tensor& t, int64_t axis, bool keepdim = false);
+Tensor max_axis(const Tensor& t, int64_t axis, bool keepdim = false);
+// Row-wise argmax for a 2-D tensor: returns shape {rows} of class indices.
+std::vector<int64_t> argmax_rows(const Tensor& t);
+
+// ---- Shape manipulation. ----
+// Concatenate along an axis; all inputs must agree on the other axes.
+Tensor concat(const std::vector<Tensor>& parts, int64_t axis);
+// Extract [start, start+len) along `axis`.
+Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len);
+// Scatter-add `piece` into a zero tensor of shape `full_shape` at offset
+// `start` along `axis` (adjoint of slice).
+Tensor pad_slice(const Tensor& piece, const Shape& full_shape, int64_t axis,
+                 int64_t start);
+
+// Approximate comparison (max abs diff <= atol + rtol*|b|), for tests.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace pf

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "gradcheck.h"
+#include "tensor/rng.h"
+
+namespace pf::ag {
+namespace {
+
+using pf::testing::gradcheck;
+
+TEST(Autograd, LeafAndBackwardSeed) {
+  Var x = leaf(Tensor::scalar(2.0f), true);
+  Var y = mul_scalar(x, 3.0f);
+  backward(y);
+  EXPECT_FLOAT_EQ(x->grad[0], 3.0f);
+}
+
+TEST(Autograd, NonScalarBackwardNeedsSeed) {
+  Var x = leaf(Tensor::ones(Shape{3}), true);
+  Var y = mul_scalar(x, 2.0f);
+  EXPECT_THROW(backward(y), std::runtime_error);
+  backward(y, Tensor::from_vector({1, 2, 3}));
+  EXPECT_FLOAT_EQ(x->grad[1], 4.0f);
+}
+
+TEST(Autograd, GradAccumulatesOnReuse) {
+  Var x = leaf(Tensor::scalar(3.0f), true);
+  Var y = add(x, x);  // dy/dx = 2
+  backward(y);
+  EXPECT_FLOAT_EQ(x->grad[0], 2.0f);
+}
+
+TEST(Autograd, DiamondGraph) {
+  // z = (x*x) + (x*2): dz/dx = 2x + 2 = 8 at x=3.
+  Var x = leaf(Tensor::scalar(3.0f), true);
+  Var z = add(mul(x, x), mul_scalar(x, 2.0f));
+  backward(z);
+  EXPECT_FLOAT_EQ(x->grad[0], 8.0f);
+}
+
+TEST(Autograd, NoGradGuardDropsTape) {
+  Var x = leaf(Tensor::scalar(1.0f), true);
+  NoGradGuard ng;
+  Var y = mul_scalar(x, 2.0f);
+  EXPECT_FALSE(y->requires_grad);
+  EXPECT_TRUE(y->inputs.empty());
+}
+
+TEST(Autograd, NoGradWhenInputsDontRequire) {
+  Var x = leaf(Tensor::scalar(1.0f), false);
+  Var y = mul_scalar(x, 2.0f);
+  EXPECT_FALSE(y->requires_grad);
+}
+
+TEST(Autograd, DeepChainIterativeTopoSort) {
+  // 3000-node chain: recursion would overflow; must complete and be exact.
+  Var x = leaf(Tensor::scalar(1.0f), true);
+  Var cur = x;
+  for (int i = 0; i < 3000; ++i) cur = add_scalar(cur, 0.001f);
+  backward(cur);
+  EXPECT_FLOAT_EQ(x->grad[0], 1.0f);
+}
+
+// ---- Finite-difference checks per op. ----
+
+TEST(GradCheck, AddBroadcast) {
+  Rng rng(1);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(add(v[0], v[1]));
+  }, {rng.randn(Shape{3, 4}), rng.randn(Shape{4})});
+}
+
+TEST(GradCheck, SubMulDiv) {
+  Rng rng(2);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(div(mul(sub(v[0], v[1]), v[1]), add_scalar(v[0], 3.0f)));
+  }, {rng.rand(Shape{2, 3}, 0.5f, 1.5f), rng.rand(Shape{2, 3}, 0.5f, 1.5f)});
+}
+
+TEST(GradCheck, Activations) {
+  Rng rng(3);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(add(tanh(v[0]), sigmoid(v[0])));
+  }, {rng.randn(Shape{2, 5})});
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Rng rng(4);
+  Tensor x = rng.randn(Shape{10});
+  for (int64_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x[i]) < 0.1f) x[i] = 0.5f;  // avoid the nondifferentiable point
+  gradcheck([](const std::vector<Var>& v) { return sum_all(relu(v[0])); },
+            {x});
+}
+
+TEST(GradCheck, ExpLog) {
+  Rng rng(5);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(log(add_scalar(exp(v[0]), 1.0f)));
+  }, {rng.randn(Shape{6})});
+}
+
+TEST(GradCheck, MatmulChain) {
+  Rng rng(6);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(matmul(v[0], v[1]));
+  }, {rng.randn(Shape{3, 4}), rng.randn(Shape{4, 2})});
+}
+
+TEST(GradCheck, MatmulNt) {
+  Rng rng(7);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(matmul_nt(v[0], v[1]));
+  }, {rng.randn(Shape{3, 4}), rng.randn(Shape{5, 4})});
+}
+
+TEST(GradCheck, Bmm) {
+  Rng rng(8);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(bmm(v[0], v[1]));
+  }, {rng.randn(Shape{2, 3, 4}), rng.randn(Shape{2, 4, 2})});
+}
+
+TEST(GradCheck, BmmNt) {
+  Rng rng(9);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(bmm_nt(v[0], v[1]));
+  }, {rng.randn(Shape{2, 3, 4}), rng.randn(Shape{2, 5, 4})});
+}
+
+TEST(GradCheck, ReshapeTransposeSliceConcat) {
+  Rng rng(10);
+  gradcheck([](const std::vector<Var>& v) {
+    Var r = reshape(v[0], Shape{4, 3});
+    Var t = transpose(r, {1, 0});             // (3, 4)
+    Var s = slice(t, 1, 1, 2);                // (3, 2)
+    Var c = concat({s, s}, 0);                // (6, 2)
+    return sum_all(mul(c, c));
+  }, {rng.randn(Shape{2, 6})});
+}
+
+TEST(GradCheck, MeanAll) {
+  Rng rng(11);
+  gradcheck([](const std::vector<Var>& v) {
+    return mean_all(mul(v[0], v[0]));
+  }, {rng.randn(Shape{3, 3})});
+}
+
+TEST(GradCheck, Softmax) {
+  Rng rng(12);
+  gradcheck([](const std::vector<Var>& v) {
+    Var s = softmax(v[0]);
+    return sum_all(mul(s, s));  // nontrivial downstream gradient
+  }, {rng.randn(Shape{3, 5})});
+}
+
+TEST(GradCheck, CrossEntropyPlain) {
+  Rng rng(13);
+  gradcheck([](const std::vector<Var>& v) {
+    return cross_entropy(v[0], {1, 0, 2});
+  }, {rng.randn(Shape{3, 4})});
+}
+
+TEST(GradCheck, CrossEntropyLabelSmoothing) {
+  Rng rng(14);
+  gradcheck([](const std::vector<Var>& v) {
+    return cross_entropy(v[0], {2, 3}, 0.1f);
+  }, {rng.randn(Shape{2, 5})});
+}
+
+TEST(GradCheck, CrossEntropyIgnoreIndex) {
+  Rng rng(15);
+  gradcheck([](const std::vector<Var>& v) {
+    return cross_entropy(v[0], {1, -100, 0}, 0.0f, -100);
+  }, {rng.randn(Shape{3, 4})});
+}
+
+TEST(GradCheck, Conv2d) {
+  Rng rng(16);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(mul(conv2d(v[0], v[1], 1, 1),
+                       conv2d(v[0], v[1], 1, 1)));
+  }, {rng.randn(Shape{2, 2, 4, 4}), rng.randn(Shape{3, 2, 3, 3})});
+}
+
+TEST(GradCheck, Conv2dStride2) {
+  Rng rng(17);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(conv2d(v[0], v[1], 2, 1));
+  }, {rng.randn(Shape{1, 2, 5, 5}), rng.randn(Shape{2, 2, 3, 3})});
+}
+
+TEST(GradCheck, Conv1x1) {
+  Rng rng(18);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(conv2d(v[0], v[1], 1, 0));
+  }, {rng.randn(Shape{2, 3, 3, 3}), rng.randn(Shape{4, 3, 1, 1})});
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(19);
+  // Perturbations must not flip the argmax: spread values.
+  Tensor x = rng.rand(Shape{1, 2, 4, 4}, 0.0f, 10.0f);
+  gradcheck([](const std::vector<Var>& v) {
+    return sum_all(maxpool2d(v[0], 2, 2));
+  }, {x}, 1e-3f);
+}
+
+TEST(GradCheck, AvgPools) {
+  Rng rng(20);
+  gradcheck([](const std::vector<Var>& v) {
+    Var g = global_avgpool(v[0]);
+    Var a = avgpool2d(v[0], 2, 2);
+    return add(sum_all(mul(g, g)), sum_all(a));
+  }, {rng.randn(Shape{2, 3, 4, 4})});
+}
+
+TEST(GradCheck, BatchNormTraining) {
+  Rng rng(21);
+  gradcheck([](const std::vector<Var>& v) {
+    Var y = batchnorm2d(v[0], v[1], v[2], nullptr, nullptr, true);
+    return sum_all(mul(y, y));
+  }, {rng.randn(Shape{3, 2, 2, 2}), rng.rand(Shape{2}, 0.5f, 1.5f),
+      rng.randn(Shape{2})});
+}
+
+TEST(GradCheck, BatchNormEval) {
+  Rng rng(22);
+  Tensor rm = Tensor::zeros(Shape{2});
+  Tensor rv = Tensor::ones(Shape{2});
+  gradcheck([&](const std::vector<Var>& v) {
+    Var y = batchnorm2d(v[0], v[1], v[2], &rm, &rv, false);
+    return sum_all(mul(y, y));
+  }, {rng.randn(Shape{2, 2, 2, 2}), rng.rand(Shape{2}, 0.5f, 1.5f),
+      rng.randn(Shape{2})});
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(23);
+  gradcheck([](const std::vector<Var>& v) {
+    Var y = layernorm(v[0], v[1], v[2]);
+    return sum_all(mul(y, y));
+  }, {rng.randn(Shape{3, 6}), rng.rand(Shape{6}, 0.5f, 1.5f),
+      rng.randn(Shape{6})});
+}
+
+TEST(GradCheck, Embedding) {
+  Rng rng(24);
+  gradcheck([](const std::vector<Var>& v) {
+    Var e = embedding({0, 2, 1, 2}, v[0]);
+    return sum_all(mul(e, e));
+  }, {rng.randn(Shape{3, 4})});
+}
+
+TEST(GradCheck, AddConstantMask) {
+  Rng rng(25);
+  Tensor mask(Shape{2, 3});
+  mask[1] = -5.0f;
+  gradcheck([&](const std::vector<Var>& v) {
+    return sum_all(softmax(add_constant(v[0], mask)));
+  }, {rng.randn(Shape{2, 3})});
+}
+
+TEST(Dropout, IdentityWhenEvalOrZeroP) {
+  Rng rng(26);
+  Rng drop_rng(1);
+  Var x = leaf(rng.randn(Shape{100}), true);
+  Var y = dropout(x, 0.5f, /*training=*/false, drop_rng);
+  EXPECT_TRUE(allclose(y->value, x->value));
+  Var z = dropout(x, 0.0f, true, drop_rng);
+  EXPECT_TRUE(allclose(z->value, x->value));
+}
+
+TEST(Dropout, MaskAndScale) {
+  Rng data_rng(27);
+  Rng drop_rng(2);
+  Var x = leaf(Tensor::ones(Shape{10000}), true);
+  Var y = dropout(x, 0.3f, true, drop_rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y->numel(); ++i) {
+    if (y->value[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y->value[i], 1.0f / 0.7f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y->numel(), 0.3, 0.02);
+  // Backward reuses the same mask.
+  backward(sum_all(y));
+  for (int64_t i = 0; i < x->numel(); ++i)
+    EXPECT_FLOAT_EQ(x->grad[i], y->value[i]);
+}
+
+TEST(CrossEntropy, MatchesManualValue) {
+  // Uniform logits over 4 classes: loss = log(4).
+  Var logits = leaf(Tensor::zeros(Shape{2, 4}), true);
+  Var loss = cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(loss->value[0], std::log(4.0f), 1e-5);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(28);
+  Var x = leaf(rng.randn(Shape{4, 7}) * 10.0f);
+  Var s = softmax(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 7; ++c) sum += s->value[r * 7 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableWithLargeLogits) {
+  Tensor big(Shape{1, 3});
+  big[0] = 1000.0f;
+  big[1] = 999.0f;
+  big[2] = -1000.0f;
+  Var s = softmax(leaf(big));
+  EXPECT_FALSE(std::isnan(s->value[0]));
+  EXPECT_GT(s->value[0], s->value[1]);
+  EXPECT_NEAR(s->value[2], 0.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace pf::ag

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "baselines/eb_train.h"
+#include "baselines/lth.h"
+#include "models/vgg.h"
+
+namespace pf::baselines {
+namespace {
+
+data::SyntheticImages tiny_data() {
+  data::SyntheticImages::Config dc;
+  dc.num_classes = 4;
+  dc.hw = 32;  // VGG needs >= 32 for its five pools
+  dc.train_size = 32;
+  dc.test_size = 16;
+  dc.augment = false;
+  return data::SyntheticImages(dc);
+}
+
+core::VisionModelFactory vgg_factory(double width, int64_t classes) {
+  return [width, classes](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+    models::VggConfig cfg;
+    cfg.width_mult = width;
+    cfg.num_classes = classes;
+    return std::make_unique<models::Vgg19>(cfg, rng);
+  };
+}
+
+TEST(Lth, SparsitySchedule) {
+  auto ds = tiny_data();
+  LthConfig cfg;
+  cfg.rounds = 3;
+  cfg.prune_frac_per_round = 0.5;
+  cfg.inner.epochs = 1;
+  cfg.inner.batch = 16;
+  cfg.inner.lr = 0.02f;
+  auto recs = run_lth(vgg_factory(0.0625, 4), ds, cfg);
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_NEAR(recs[0].sparsity, 0.0, 1e-9);
+  // Each round halves the survivors: 0, 0.5, 0.75, 0.875.
+  EXPECT_NEAR(recs[1].sparsity, 0.5, 0.01);
+  EXPECT_NEAR(recs[2].sparsity, 0.75, 0.01);
+  EXPECT_NEAR(recs[3].sparsity, 0.875, 0.01);
+}
+
+TEST(Lth, RemainingParamsDecreaseAndTimeAccumulates) {
+  auto ds = tiny_data();
+  LthConfig cfg;
+  cfg.rounds = 2;
+  cfg.inner.epochs = 1;
+  cfg.inner.batch = 16;
+  auto recs = run_lth(vgg_factory(0.0625, 4), ds, cfg);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i].remaining_params, recs[i - 1].remaining_params);
+    EXPECT_GE(recs[i].cumulative_seconds, recs[i - 1].cumulative_seconds);
+  }
+  // Iterative pruning costs multiple full trainings: round 2 total time is
+  // at least ~2x round 0's (equal-length rounds).
+  EXPECT_GT(recs[2].cumulative_seconds, 1.8 * recs[0].cumulative_seconds);
+}
+
+TEST(EbTrain, FindsTicketAndPrunesChannels) {
+  auto ds = tiny_data();
+  models::VggConfig mcfg;
+  mcfg.width_mult = 0.0625;
+  mcfg.num_classes = 4;
+  EbConfig cfg;
+  cfg.prune_ratio = 0.3;
+  cfg.max_search_epochs = 2;
+  cfg.inner.epochs = 3;
+  cfg.inner.batch = 16;
+  EbResult r = run_eb_train(mcfg, ds, cfg);
+  EXPECT_GE(r.ticket_epoch, 0);
+  EXPECT_LT(r.ticket_epoch, cfg.inner.epochs);
+  EXPECT_GT(r.effective_params, 0);
+  EXPECT_GT(r.effective_macs, 0);
+  // Pruned network must be smaller than the dense one.
+  Rng rng(1);
+  models::Vgg19 dense(mcfg, rng);
+  EXPECT_LT(r.effective_params, dense.num_params());
+}
+
+TEST(EbTrain, HigherPruneRatioSmallerNetwork) {
+  auto ds = tiny_data();
+  models::VggConfig mcfg;
+  mcfg.width_mult = 0.0625;
+  mcfg.num_classes = 4;
+  EbConfig lo;
+  lo.prune_ratio = 0.3;
+  lo.max_search_epochs = 1;
+  lo.inner.epochs = 1;
+  lo.inner.batch = 16;
+  EbConfig hi = lo;
+  hi.prune_ratio = 0.7;
+  EbResult rl = run_eb_train(mcfg, ds, lo);
+  EbResult rh = run_eb_train(mcfg, ds, hi);
+  EXPECT_LT(rh.effective_params, rl.effective_params);
+  EXPECT_LT(rh.effective_macs, rl.effective_macs);
+}
+
+}  // namespace
+}  // namespace pf::baselines

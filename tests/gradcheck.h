@@ -1,0 +1,52 @@
+// Finite-difference gradient checking used by the autograd / layer tests.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace pf::testing {
+
+// f maps leaf variables to a SCALAR Var. Checks every input coordinate's
+// analytic gradient against a central difference.
+inline void gradcheck(
+    const std::function<ag::Var(const std::vector<ag::Var>&)>& f,
+    std::vector<Tensor> inputs, float eps = 1e-2f, float rtol = 3e-2f,
+    float atol = 2e-3f) {
+  // Analytic gradients.
+  std::vector<ag::Var> leaves;
+  leaves.reserve(inputs.size());
+  for (Tensor& t : inputs) leaves.push_back(ag::leaf(t, true));
+  ag::Var out = f(leaves);
+  ASSERT_EQ(out->numel(), 1) << "gradcheck: f must return a scalar";
+  ag::backward(out);
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_TRUE(leaves[i]->has_grad()) << "input " << i << " got no grad";
+    const Tensor& analytic = leaves[i]->grad;
+    for (int64_t j = 0; j < inputs[i].numel(); ++j) {
+      Tensor plus = inputs[i];
+      plus[j] += eps;
+      Tensor minus = inputs[i];
+      minus[j] -= eps;
+
+      auto eval = [&](const Tensor& perturbed) {
+        ag::NoGradGuard ng;
+        std::vector<ag::Var> ls;
+        for (size_t k = 0; k < inputs.size(); ++k)
+          ls.push_back(ag::leaf(k == i ? perturbed : inputs[k]));
+        return f(ls)->value[0];
+      };
+      const float numeric = (eval(plus) - eval(minus)) / (2 * eps);
+      EXPECT_NEAR(analytic[j], numeric,
+                  atol + rtol * std::fabs(numeric))
+          << "input " << i << " coord " << j;
+    }
+  }
+}
+
+}  // namespace pf::testing

@@ -1,0 +1,114 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "tensor/matmul.h"
+#include "tensor/rng.h"
+
+namespace pf {
+namespace {
+
+// Direct (nested-loop) convolution reference of one image.
+Tensor ref_conv(const Tensor& img, const Tensor& w, const ConvGeom& g) {
+  const int64_t c_out = w.size(0);
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor out(Shape{c_out, oh, ow});
+  for (int64_t co = 0; co < c_out; ++co)
+    for (int64_t oy = 0; oy < oh; ++oy)
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        double acc = 0;
+        for (int64_t ci = 0; ci < g.c_in; ++ci)
+          for (int64_t ky = 0; ky < g.kernel; ++ky)
+            for (int64_t kx = 0; kx < g.kernel; ++kx) {
+              const int64_t iy = oy * g.stride - g.pad + ky;
+              const int64_t ix = ox * g.stride - g.pad + kx;
+              if (iy < 0 || iy >= g.h || ix < 0 || ix >= g.w) continue;
+              acc += static_cast<double>(
+                         img[(ci * g.h + iy) * g.w + ix]) *
+                     w[((co * g.c_in + ci) * g.kernel + ky) * g.kernel + kx];
+            }
+        out[(co * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+  return out;
+}
+
+struct ConvCase {
+  int64_t c_in, h, w, k, stride, pad;
+};
+
+class Im2ColP : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2ColP, GemmConvMatchesDirect) {
+  const auto [c_in, h, w, k, stride, pad] = GetParam();
+  const ConvGeom g{c_in, h, w, k, stride, pad};
+  Rng rng(c_in * 100 + h + k);
+  Tensor img = rng.randn(Shape{c_in, h, w});
+  const int64_t c_out = 3;
+  Tensor weight = rng.randn(Shape{c_out, c_in, k, k});
+
+  Tensor col(Shape{g.patch(), g.out_h() * g.out_w()});
+  im2col(img.data(), g, col.data());
+  Tensor w2d = weight.reshape(Shape{c_out, g.patch()});
+  Tensor y = matmul(w2d, col).reshape(Shape{c_out, g.out_h(), g.out_w()});
+
+  EXPECT_TRUE(allclose(y, ref_conv(img, weight, g), 1e-3f, 1e-4f));
+}
+
+TEST_P(Im2ColP, Col2ImIsAdjoint) {
+  // Adjoint property: <im2col(x), y> == <x, col2im(y)> for all x, y.
+  const auto [c_in, h, w, k, stride, pad] = GetParam();
+  const ConvGeom g{c_in, h, w, k, stride, pad};
+  Rng rng(h * 31 + k);
+  Tensor x = rng.randn(Shape{c_in, h, w});
+  const int64_t cols = g.out_h() * g.out_w();
+  Tensor y = rng.randn(Shape{g.patch(), cols});
+
+  Tensor cx(Shape{g.patch(), cols});
+  im2col(x.data(), g, cx.data());
+  double lhs = 0;
+  for (int64_t i = 0; i < cx.numel(); ++i)
+    lhs += static_cast<double>(cx[i]) * y[i];
+
+  Tensor xy(Shape{c_in, h, w});
+  col2im(y.data(), g, xy.data());
+  double rhs = 0;
+  for (int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * xy[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColP,
+    ::testing::Values(ConvCase{1, 5, 5, 3, 1, 1}, ConvCase{3, 8, 8, 3, 1, 1},
+                      ConvCase{2, 7, 9, 3, 2, 1}, ConvCase{4, 6, 6, 1, 1, 0},
+                      ConvCase{2, 10, 10, 5, 1, 2},
+                      ConvCase{3, 8, 8, 3, 2, 0},
+                      ConvCase{1, 4, 4, 7, 1, 3},
+                      ConvCase{2, 9, 9, 1, 2, 0}));
+
+TEST(Im2Col, GeometryHelpers) {
+  ConvGeom g{3, 32, 32, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 32);
+  EXPECT_EQ(g.out_w(), 32);
+  EXPECT_EQ(g.patch(), 27);
+  ConvGeom s{64, 16, 16, 3, 2, 1};
+  EXPECT_EQ(s.out_h(), 8);
+  ConvGeom p{8, 7, 7, 7, 2, 3};
+  EXPECT_EQ(p.out_h(), 4);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  ConvGeom g{1, 2, 2, 3, 1, 1};
+  Tensor img = Tensor::ones(Shape{1, 2, 2});
+  Tensor col(Shape{g.patch(), g.out_h() * g.out_w()});
+  im2col(img.data(), g, col.data());
+  // Top-left output patch: the (0,0) kernel tap reads padding => zero.
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  // Center taps read real pixels.
+  EXPECT_FLOAT_EQ(col.at({4, 0}), 1.0f);
+}
+
+}  // namespace
+}  // namespace pf

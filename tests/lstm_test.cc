@@ -1,0 +1,127 @@
+#include "nn/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factorize.h"
+#include "tensor/matmul.h"
+
+namespace pf::nn {
+namespace {
+
+TEST(LSTMLayer, OutputShape) {
+  Rng rng(1);
+  LSTMLayer lstm(6, 8, rng);
+  ag::Var y = lstm.forward(ag::leaf(rng.randn(Shape{5, 3, 6})), nullptr);
+  EXPECT_EQ(y->shape(), (Shape{5, 3, 8}));
+}
+
+TEST(LSTMLayer, ParamCountMatchesTable1) {
+  Rng rng(2);
+  const int64_t d = 10, h = 12;
+  LSTMLayer lstm(d, h, rng);
+  // 4(dh + h^2) weights + 4h combined bias.
+  EXPECT_EQ(lstm.num_params(), 4 * (d * h + h * h) + 4 * h);
+}
+
+TEST(LSTMLayer, StateCarriesAcrossCalls) {
+  Rng rng(3);
+  LSTMLayer lstm(4, 5, rng);
+  Tensor x = rng.randn(Shape{6, 2, 4});
+
+  // One 6-step pass == two 3-step passes with carried state.
+  ag::Var full = lstm.forward(ag::leaf(x), nullptr);
+
+  LstmState st;
+  ag::Var part1 =
+      lstm.forward(ag::leaf(slice(x, 0, 0, 3)), &st);
+  ag::Var part2 =
+      lstm.forward(ag::leaf(slice(x, 0, 3, 3)), &st);
+  Tensor joined = concat({part1->value, part2->value}, 0);
+  EXPECT_TRUE(allclose(joined, full->value, 1e-4f, 1e-5f));
+}
+
+TEST(LSTMLayer, ZeroInputGivesBoundedOutput) {
+  Rng rng(4);
+  LSTMLayer lstm(4, 4, rng);
+  ag::Var y = lstm.forward(ag::leaf(Tensor::zeros(Shape{3, 1, 4})), nullptr);
+  // tanh(c) in (-1, 1) and output gate in (0, 1) => |h| < 1.
+  EXPECT_LT(y->value.abs_max(), 1.0f);
+}
+
+TEST(LSTMLayer, GradientsFlowToAllParams) {
+  Rng rng(5);
+  LSTMLayer lstm(3, 4, rng);
+  ag::Var y = lstm.forward(ag::leaf(rng.randn(Shape{4, 2, 3})), nullptr);
+  ag::backward(ag::sum_all(ag::mul(y, y)));
+  EXPECT_GT(lstm.w_ih->grad.norm(), 0.0f);
+  EXPECT_GT(lstm.w_hh->grad.norm(), 0.0f);
+  EXPECT_GT(lstm.bias->grad.norm(), 0.0f);
+}
+
+TEST(LowRankLSTM, ParamCountMatchesTable1) {
+  Rng rng(6);
+  const int64_t d = 10, h = 12, r = 3;
+  LowRankLSTMLayer lstm(d, h, r, rng);
+  // 4dr + 12hr (+ the 4h bias the paper's count keeps).
+  EXPECT_EQ(lstm.num_params(), 4 * d * r + 12 * h * r + 4 * h);
+}
+
+TEST(LowRankLSTM, OutputShape) {
+  Rng rng(7);
+  LowRankLSTMLayer lstm(6, 8, 2, rng);
+  ag::Var y = lstm.forward(ag::leaf(rng.randn(Shape{4, 3, 6})), nullptr);
+  EXPECT_EQ(y->shape(), (Shape{4, 3, 8}));
+}
+
+TEST(LowRankLSTM, FullRankFactorizationReproducesVanilla) {
+  // SVD at full rank is exact, so the factorized LSTM initialized from the
+  // vanilla one must produce (numerically) identical outputs.
+  Rng rng(8);
+  const int64_t d = 6, h = 6;
+  LSTMLayer vanilla(d, h, rng);
+  LowRankLSTMLayer lowrank(d, h, /*rank=*/6, rng);
+  Rng svd_rng(1);
+  core::factorize_lstm(vanilla, lowrank, svd_rng);
+
+  Tensor x = rng.randn(Shape{5, 2, d});
+  ag::Var yv = vanilla.forward(ag::leaf(x), nullptr);
+  ag::Var yl = lowrank.forward(ag::leaf(x), nullptr);
+  EXPECT_TRUE(allclose(yl->value, yv->value, 1e-3f, 1e-3f));
+}
+
+TEST(LowRankLSTM, TruncatedFactorizationIsClose) {
+  Rng rng(9);
+  const int64_t d = 8, h = 8;
+  LSTMLayer vanilla(d, h, rng);
+  LowRankLSTMLayer lr6(d, h, 6, rng);
+  LowRankLSTMLayer lr2(d, h, 2, rng);
+  Rng r1(1), r2(2);
+  core::factorize_lstm(vanilla, lr6, r1);
+  core::factorize_lstm(vanilla, lr2, r2);
+
+  Tensor x = rng.randn(Shape{4, 2, d});
+  ag::Var yv = vanilla.forward(ag::leaf(x), nullptr);
+  ag::Var y6 = lr6.forward(ag::leaf(x), nullptr);
+  ag::Var y2 = lr2.forward(ag::leaf(x), nullptr);
+  const float e6 = max_abs_diff(y6->value, yv->value);
+  const float e2 = max_abs_diff(y2->value, yv->value);
+  EXPECT_LE(e6, e2 + 1e-5f);  // more rank => closer
+}
+
+TEST(LowRankLSTM, GradientsFlowToAllFactors) {
+  Rng rng(10);
+  LowRankLSTMLayer lstm(3, 4, 2, rng);
+  ag::Var y = lstm.forward(ag::leaf(rng.randn(Shape{3, 2, 3})), nullptr);
+  ag::backward(ag::sum_all(ag::mul(y, y)));
+  for (size_t g = 0; g < 4; ++g) {
+    EXPECT_GT(lstm.u_ih[g]->grad.norm(), 0.0f) << "gate " << g;
+    EXPECT_GT(lstm.v_ih[g]->grad.norm(), 0.0f) << "gate " << g;
+    EXPECT_GT(lstm.u_hh[g]->grad.norm(), 0.0f) << "gate " << g;
+    EXPECT_GT(lstm.v_hh[g]->grad.norm(), 0.0f) << "gate " << g;
+  }
+}
+
+}  // namespace
+}  // namespace pf::nn

@@ -1,0 +1,307 @@
+// Fidelity anchors: instantiating the appendix architectures must reproduce
+// the paper's parameter counts and MAC figures. These are the strongest
+// end-to-end checks that the reproduced models match the paper.
+#include <gtest/gtest.h>
+
+#include "models/lstm_lm.h"
+#include "models/resnet.h"
+#include "models/transformer_mt.h"
+#include "core/factorize.h"
+#include "models/vgg.h"
+
+namespace pf::models {
+namespace {
+
+TEST(PaperCounts, Vgg19Vanilla) {
+  Rng rng(1);
+  Vgg19 m(VggConfig::vanilla(), rng);
+  EXPECT_EQ(m.num_params(), 20560330);  // Table 4
+}
+
+TEST(PaperCounts, Vgg19Pufferfish) {
+  Rng rng(2);
+  Vgg19 m(VggConfig::pufferfish(10), rng);
+  EXPECT_EQ(m.num_params(), 8370634);  // Table 4
+}
+
+TEST(PaperCounts, ResNet18) {
+  Rng rng(3);
+  ResNet18Cifar vanilla(ResNetCifarConfig::vanilla(), rng);
+  ResNet18Cifar pf(ResNetCifarConfig::pufferfish(), rng);
+  // The paper's printed counts are 11,173,834 / 3,336,138 -- exactly 128
+  // (one 64-channel BN pair) below the architecture in its own appendix
+  // Table 13, in BOTH columns. We match the architecture; the constant
+  // offset is documented in EXPERIMENTS.md.
+  EXPECT_EQ(vanilla.num_params(), 11173834 + 128);
+  EXPECT_EQ(pf.num_params(), 3336138 + 128);
+}
+
+TEST(PaperCounts, ResNet50) {
+  Rng rng(4);
+  ResNet50 vanilla(ResNetImageNetConfig::resnet50_vanilla(), rng);
+  ResNet50 pf(ResNetImageNetConfig::resnet50_pufferfish(), rng);
+  EXPECT_EQ(vanilla.num_params(), 25557032);  // torchvision's ResNet-50
+  EXPECT_EQ(pf.num_params(), 15202344);       // exactly the paper's Table 7
+}
+
+TEST(PaperCounts, WideResNet50) {
+  Rng rng(5);
+  ResNet50 vanilla(ResNetImageNetConfig::wrn50_vanilla(), rng);
+  ResNet50 pf(ResNetImageNetConfig::wrn50_pufferfish(), rng);
+  EXPECT_EQ(vanilla.num_params(), 68883240);  // torchvision wide_resnet50_2
+  // Paper says Pufferfish finds a 1.72x smaller WRN-50-2 (limitations
+  // paragraph); 68883240 / 40047400 = 1.72.
+  EXPECT_EQ(pf.num_params(), 40047400);
+  EXPECT_NEAR(static_cast<double>(vanilla.num_params()) / pf.num_params(),
+              1.72, 0.01);
+}
+
+TEST(PaperCounts, ResNet50CompressionRatioMatchesLimitations) {
+  Rng rng(6);
+  ResNet50 vanilla(ResNetImageNetConfig::resnet50_vanilla(), rng);
+  ResNet50 pf(ResNetImageNetConfig::resnet50_pufferfish(), rng);
+  // "it only finds 1.68x ... smaller models for ResNet-50".
+  EXPECT_NEAR(static_cast<double>(vanilla.num_params()) / pf.num_params(),
+              1.68, 0.01);
+}
+
+TEST(PaperCounts, LstmWikiText2) {
+  Rng rng(7);
+  LstmLm vanilla(LstmLmConfig::paper_vanilla(), rng);
+  LstmLm pf(LstmLmConfig::paper_pufferfish(), rng);
+  EXPECT_EQ(vanilla.num_params(), 85962278);  // Table 2, exactly
+  EXPECT_EQ(pf.num_params(), 67962278);       // Table 2, exactly
+}
+
+TEST(PaperCounts, LstmMacsPerLayerPerToken) {
+  Rng rng(8);
+  LstmLm vanilla(LstmLmConfig::paper_vanilla(), rng);
+  LstmLm pf(LstmLmConfig::paper_pufferfish(), rng);
+  EXPECT_EQ(vanilla.macs_per_token_per_layer(), 18000000);  // Table 2: 18M
+  EXPECT_EQ(pf.macs_per_token_per_layer(), 9000000);        // Table 2: 9M
+}
+
+TEST(PaperCounts, TransformerWmt16) {
+  Rng rng(9);
+  TransformerMT vanilla(TransformerConfig::paper_vanilla(), rng);
+  TransformerMT pf(TransformerConfig::paper_pufferfish(), rng);
+  EXPECT_EQ(vanilla.num_params(), 48978432);  // Table 3, exactly
+  EXPECT_EQ(pf.num_params(), 26696192);       // Table 3, exactly
+}
+
+TEST(PaperMacs, Vgg19OnCifar) {
+  Rng rng(10);
+  Vgg19 vanilla(VggConfig::vanilla(), rng);
+  Vgg19 pf(VggConfig::pufferfish(10), rng);
+  // Table 4: 0.4 G vs 0.29 G.
+  EXPECT_NEAR(vanilla.forward_macs(32, 32) / 1e9, 0.40, 0.01);
+  EXPECT_NEAR(pf.forward_macs(32, 32) / 1e9, 0.29, 0.01);
+}
+
+TEST(PaperMacs, ResNet18OnCifar) {
+  Rng rng(11);
+  ResNet18Cifar vanilla(ResNetCifarConfig::vanilla(), rng);
+  ResNet18Cifar pf(ResNetCifarConfig::pufferfish(), rng);
+  // Table 4: 0.56 G vs 0.22 G ("reduces MACs up to 2.55x").
+  EXPECT_NEAR(vanilla.forward_macs(32, 32) / 1e9, 0.56, 0.01);
+  EXPECT_NEAR(pf.forward_macs(32, 32) / 1e9, 0.22, 0.01);
+  EXPECT_NEAR(static_cast<double>(vanilla.forward_macs(32, 32)) /
+                  pf.forward_macs(32, 32),
+              2.55, 0.05);
+}
+
+TEST(PaperMacs, ResNet50OnImageNet) {
+  Rng rng(12);
+  ResNet50 vanilla(ResNetImageNetConfig::resnet50_vanilla(), rng);
+  ResNet50 pf(ResNetImageNetConfig::resnet50_pufferfish(), rng);
+  // Table 7: 4.12 G vs 3.6 G. Our unpadded max-pool gives 55x55 (vs 56x56)
+  // after the stem, so we land ~1% low; shape preserved.
+  EXPECT_NEAR(vanilla.forward_macs(224, 224) / 1e9, 4.12, 0.08);
+  EXPECT_NEAR(pf.forward_macs(224, 224) / 1e9, 3.6, 0.12);
+}
+
+// ---- Structural checks on scaled-down (trainable) variants. ----
+
+TEST(Vgg19, ScaledForwardShape) {
+  Rng rng(13);
+  VggConfig cfg;
+  cfg.width_mult = 0.125;
+  Vgg19 m(cfg, rng);
+  m.train(false);
+  ag::Var y = m.forward(ag::leaf(rng.randn(Shape{2, 3, 32, 32})));
+  EXPECT_EQ(y->shape(), (Shape{2, 10}));
+}
+
+TEST(Vgg19, ScaledHybridSmaller) {
+  Rng rng(14);
+  VggConfig v;
+  v.width_mult = 0.25;
+  VggConfig h = v;
+  h.k_first_lowrank = 10;
+  Vgg19 mv(v, rng), mh(h, rng);
+  EXPECT_LT(mh.num_params(), mv.num_params());
+  EXPECT_LT(mh.forward_macs(32, 32), mv.forward_macs(32, 32));
+}
+
+TEST(Vgg19, LthVariantSingleFc) {
+  Rng rng(15);
+  VggConfig cfg;
+  cfg.lth_classifier = true;
+  Vgg19 m(cfg, rng);
+  // Table 18: conv stack identical, classifier is one 512 -> 10 FC.
+  // Relative to the 3-FC vanilla: remove 2x(512*512+512), keep 512*10+10.
+  EXPECT_EQ(m.num_params(), 20560330 - 2 * (512 * 512 + 512));
+}
+
+TEST(ResNet18, ScaledForwardShape) {
+  Rng rng(16);
+  ResNetCifarConfig cfg;
+  cfg.width_mult = 0.25;
+  ResNet18Cifar m(cfg, rng);
+  m.train(false);
+  ag::Var y = m.forward(ag::leaf(rng.randn(Shape{2, 3, 16, 16})));
+  EXPECT_EQ(y->shape(), (Shape{2, 10}));
+}
+
+TEST(ResNet18, HybridKeepsFirstBlockDense) {
+  Rng rng(17);
+  ResNetCifarConfig cfg = ResNetCifarConfig::pufferfish();
+  cfg.width_mult = 0.25;
+  ResNet18Cifar m(cfg, rng);
+  // Walk the tree: the first BasicBlock's convs are Conv2d, later are
+  // LowRankConv2d.
+  int dense_blocks = 0, lr_blocks = 0;
+  for (nn::Module* child : m.children()) {
+    if (child->type_name() != "BasicBlock") continue;
+    const std::string t = child->children()[0]->type_name();
+    if (t == "Conv2d") ++dense_blocks;
+    if (t == "LowRankConv2d") ++lr_blocks;
+  }
+  EXPECT_EQ(dense_blocks, 1);
+  EXPECT_EQ(lr_blocks, 7);
+}
+
+TEST(ResNet50, ScaledForwardShape) {
+  Rng rng(18);
+  ResNetImageNetConfig cfg;
+  cfg.width_mult = 0.125;
+  cfg.num_classes = 10;
+  ResNet50 m(cfg, rng);
+  m.train(false);
+  ag::Var y = m.forward(ag::leaf(rng.randn(Shape{1, 3, 32, 32})));
+  EXPECT_EQ(y->shape(), (Shape{1, 10}));
+}
+
+TEST(LstmLm, TinyForwardShape) {
+  Rng rng(19);
+  LstmLm m(LstmLmConfig::tiny(), rng);
+  m.train(false);
+  std::vector<int64_t> ids(3 * 2, 5);
+  ag::Var logits = m.forward(ids, 3, 2, nullptr);
+  EXPECT_EQ(logits->shape(), (Shape{6, 200}));
+}
+
+TEST(LstmLm, TiedEmbeddingSharesStorage) {
+  Rng rng(20);
+  LstmLm m(LstmLmConfig::tiny(), rng);
+  // Embedding weight gets gradient from both lookup and decoder matmul.
+  std::vector<int64_t> ids(4, 1);
+  ag::Var logits = m.forward(ids, 2, 2, nullptr);
+  ag::Var loss = ag::cross_entropy(logits, {1, 2, 3, 4});
+  ag::backward(loss);
+  nn::Param* emb = nullptr;
+  for (nn::Param* p : m.parameters())
+    if (p->var->value.shape() == (Shape{200, 64})) emb = p;
+  ASSERT_NE(emb, nullptr);
+  EXPECT_GT(emb->var->grad.norm(), 0.0f);
+}
+
+TEST(LstmLm, LowRankVariantSmaller) {
+  Rng rng(21);
+  LstmLm v(LstmLmConfig::tiny(0), rng);
+  LstmLm lr(LstmLmConfig::tiny(16), rng);
+  EXPECT_LT(lr.num_params(), v.num_params());
+  EXPECT_LT(lr.macs_per_token(), v.macs_per_token());
+}
+
+TEST(HybridStructure, Vgg19TreesAreParallel) {
+  // The warm-start walk requires structurally parallel trees.
+  Rng rng(22);
+  Vgg19 v(VggConfig::vanilla(), rng);
+  Vgg19 h(VggConfig::pufferfish(10), rng);
+  std::function<void(nn::Module&, nn::Module&)> walk =
+      [&](nn::Module& a, nn::Module& b) {
+        ASSERT_EQ(a.children().size(), b.children().size());
+        for (size_t i = 0; i < a.children().size(); ++i)
+          walk(*a.children()[i], *b.children()[i]);
+      };
+  walk(v, h);
+}
+
+}  // namespace
+}  // namespace pf::models
+
+// (appended) VGG-11 variant (Figure 2(a) model).
+namespace pf::models {
+namespace {
+
+TEST(Vgg11, StructureAndCounts) {
+  Rng rng(30);
+  Vgg19 v(VggConfig::vgg11(), rng);
+  // 8 convs: 3->64, 64->128, 128->256, 256->256, 256->512, 512->512 (x3).
+  const int64_t convs = 3 * 64 * 9 + 64 * 128 * 9 + 128 * 256 * 9 +
+                        256 * 256 * 9 + 256 * 512 * 9 + 3 * (512 * 512 * 9);
+  const int64_t bn = 2 * (64 + 128 + 256 + 256 + 512 + 512 + 512 + 512);
+  const int64_t fc = 2 * (512 * 512 + 512) + 512 * 10 + 10;
+  EXPECT_EQ(v.num_params(), convs + bn + fc);
+}
+
+TEST(Vgg11, ForwardShapeAndLowRankVariant) {
+  Rng rng(31);
+  VggConfig cfg = VggConfig::vgg11(2);
+  cfg.width_mult = 0.125;
+  Vgg19 lr(cfg, rng);
+  VggConfig vcfg = VggConfig::vgg11();
+  vcfg.width_mult = 0.125;
+  Vgg19 vanilla(vcfg, rng);
+  EXPECT_LT(lr.num_params(), vanilla.num_params());
+  lr.train(false);
+  ag::Var y = lr.forward(ag::leaf(rng.randn(Shape{2, 3, 32, 32})));
+  EXPECT_EQ(y->shape(), (Shape{2, 10}));
+  EXPECT_LT(lr.forward_macs(32, 32), vanilla.forward_macs(32, 32));
+}
+
+TEST(Vgg11, WarmStartParallelTrees) {
+  Rng rng(32);
+  VggConfig v = VggConfig::vgg11();
+  v.width_mult = 0.125;
+  VggConfig h = VggConfig::vgg11(2);
+  h.width_mult = 0.125;
+  Vgg19 vanilla(v, rng);
+  Vgg19 hybrid(h, rng);
+  Rng svd_rng(1);
+  core::warm_start(vanilla, hybrid, svd_rng);  // must not throw
+  EXPECT_GT(core::last_warm_start_svd_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pf::models
+
+// (appended) fully-factorized ResNet-50 (appendix L arm).
+namespace pf::models {
+namespace {
+
+TEST(ResNet50, FactorizeAllShrinksBeyondHybrid) {
+  Rng rng(33);
+  ResNetImageNetConfig v;          // vanilla
+  ResNetImageNetConfig h = ResNetImageNetConfig::resnet50_pufferfish();
+  ResNetImageNetConfig a;
+  a.factorize_all = true;
+  ResNet50 mv(v, rng), mh(h, rng), ma(a, rng);
+  EXPECT_LT(ma.num_params(), mh.num_params());
+  EXPECT_LT(mh.num_params(), mv.num_params());
+  EXPECT_LT(ma.forward_macs(224, 224), mh.forward_macs(224, 224));
+}
+
+}  // namespace
+}  // namespace pf::models

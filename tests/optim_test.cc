@@ -1,0 +1,150 @@
+#include "optim/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+
+namespace pf::optim {
+namespace {
+
+// Minimal module exposing one decayed and one no-decay parameter.
+class Probe : public nn::Module {
+ public:
+  Probe() {
+    w = add_param("w", Tensor::full(Shape{2}, 1.0f));
+    b = add_param("b", Tensor::full(Shape{2}, 1.0f), /*no_decay=*/true);
+  }
+  std::string type_name() const override { return "Probe"; }
+  ag::Var w, b;
+};
+
+void set_grad(const ag::Var& v, float g) {
+  v->grad = Tensor::full(v->value.shape(), g);
+}
+
+TEST(SGD, PlainStep) {
+  Probe p;
+  SGD opt(p.parameters(), /*lr=*/0.1f);
+  set_grad(p.w, 2.0f);
+  set_grad(p.b, 2.0f);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.w->value[0], 1.0f - 0.1f * 2.0f);
+}
+
+TEST(SGD, SkipsParamsWithoutGrad) {
+  Probe p;
+  SGD opt(p.parameters(), 0.1f);
+  set_grad(p.w, 1.0f);  // b has no grad
+  opt.step();
+  EXPECT_FLOAT_EQ(p.b->value[0], 1.0f);
+  EXPECT_LT(p.w->value[0], 1.0f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Probe p;
+  SGD opt(p.parameters(), 0.1f, /*momentum=*/0.9f);
+  // Two steps of constant gradient 1: v1 = 1, v2 = 1.9.
+  set_grad(p.w, 1.0f);
+  opt.step();
+  EXPECT_NEAR(p.w->value[0], 1.0f - 0.1f, 1e-6);
+  set_grad(p.w, 1.0f);
+  opt.step();
+  EXPECT_NEAR(p.w->value[0], 1.0f - 0.1f - 0.1f * 1.9f, 1e-6);
+}
+
+TEST(SGD, WeightDecayAppliedSelectively) {
+  Probe p;
+  SGD opt(p.parameters(), 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  set_grad(p.w, 0.0f);
+  set_grad(p.b, 0.0f);
+  opt.step();
+  // w decays: w -= lr * wd * w; b (no_decay) untouched.
+  EXPECT_NEAR(p.w->value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+  EXPECT_FLOAT_EQ(p.b->value[0], 1.0f);
+}
+
+TEST(SGD, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by hand-fed gradients.
+  Probe p;
+  SGD opt(p.parameters(), 0.1f, 0.9f);
+  for (int i = 0; i < 200; ++i) {
+    set_grad(p.w, 2.0f * (p.w->value[0] - 3.0f));
+    p.b->zero_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(p.w->value[0], 3.0f, 1e-3);
+}
+
+TEST(Adam, FirstStepIsLrSizedSignedStep) {
+  Probe p;
+  Adam opt(p.parameters(), 0.01f);
+  set_grad(p.w, 5.0f);
+  opt.step();
+  // Bias-corrected first Adam step magnitude ~= lr regardless of grad scale.
+  EXPECT_NEAR(p.w->value[0], 1.0f - 0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Probe p;
+  Adam opt(p.parameters(), 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    set_grad(p.w, 2.0f * (p.w->value[0] + 2.0f));
+    opt.step();
+  }
+  EXPECT_NEAR(p.w->value[0], -2.0f, 1e-2);
+}
+
+TEST(ClipGradNorm, ScalesDownOnly) {
+  Probe p;
+  set_grad(p.w, 3.0f);
+  set_grad(p.b, 4.0f);
+  auto params = p.parameters();
+  // Total norm = sqrt(2*(9+16)) = sqrt(50) ~ 7.07.
+  const float pre = clip_grad_norm(params, 1.0f);
+  EXPECT_NEAR(pre, std::sqrt(50.0f), 1e-4);
+  double post = 0;
+  for (nn::Param* q : params)
+    for (int64_t i = 0; i < q->var->grad.numel(); ++i)
+      post += static_cast<double>(q->var->grad[i]) * q->var->grad[i];
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-4);
+  // No scaling when under the bound.
+  const float pre2 = clip_grad_norm(params, 10.0f);
+  EXPECT_NEAR(pre2, 1.0f, 1e-4);
+}
+
+TEST(StepDecay, Milestones) {
+  StepDecay s(1.0f, {10, 20}, 0.1f);
+  EXPECT_FLOAT_EQ(s.at_epoch(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at_epoch(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.at_epoch(10), 0.1f);
+  EXPECT_NEAR(s.at_epoch(25), 0.01f, 1e-7);
+}
+
+TEST(WarmupThenStep, LinearRampThenDecay) {
+  WarmupThenStep s(0.1f, 1.6f, 5, {80}, 0.1f);
+  EXPECT_NEAR(s.at_epoch(0), 0.1f + 1.5f / 5, 1e-5);
+  EXPECT_NEAR(s.at_epoch(4), 1.6f, 1e-5);
+  EXPECT_NEAR(s.at_epoch(10), 1.6f, 1e-5);
+  EXPECT_NEAR(s.at_epoch(80), 0.16f, 1e-5);
+}
+
+TEST(ReduceOnPlateau, DecaysWhenNotImproving) {
+  ReduceOnPlateau r(20.0f, 0.25f);
+  EXPECT_FLOAT_EQ(r.observe(10.0f), 20.0f);  // improved
+  EXPECT_FLOAT_EQ(r.observe(11.0f), 5.0f);   // worse -> decay
+  EXPECT_FLOAT_EQ(r.observe(9.0f), 5.0f);    // improved again
+  EXPECT_FLOAT_EQ(r.observe(9.5f), 1.25f);
+}
+
+TEST(Optimizer, ZeroGrad) {
+  Probe p;
+  set_grad(p.w, 1.0f);
+  SGD opt(p.parameters(), 0.1f);
+  opt.zero_grad();
+  EXPECT_FALSE(p.w->has_grad());
+}
+
+}  // namespace
+}  // namespace pf::optim

@@ -1,0 +1,100 @@
+#include "core/rank_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/ascii_chart.h"
+#include "tensor/matmul.h"
+#include "models/resnet.h"
+
+namespace pf::core {
+namespace {
+
+TEST(RankPolicy, FixedRatioUsesShapeOnly) {
+  Rng rng(1);
+  Tensor w = rng.randn(Shape{64, 16});
+  RankPolicy p = RankPolicy::fixed(0.25);
+  EXPECT_EQ(p.rank_for(w), 4);  // 0.25 * min(64, 16)
+  // Same shape, different values: same rank.
+  Tensor w2 = rng.randn(Shape{64, 16}) * 100.0f;
+  EXPECT_EQ(p.rank_for(w2), 4);
+}
+
+TEST(RankPolicy, EnergyAdaptsToSpectrum) {
+  Rng rng(2);
+  // Exactly rank-2 matrix: 99% energy needs only 2.
+  Tensor u = rng.randn(Shape{16, 2});
+  Tensor v = rng.randn(Shape{16, 2});
+  Tensor low = pf::matmul_nt(u, v);
+  RankPolicy p = RankPolicy::energy_based(0.99);
+  EXPECT_LE(p.rank_for(low), 2);
+  // White matrix: 99% energy needs nearly full rank.
+  Tensor white = rng.randn(Shape{16, 16});
+  EXPECT_GT(p.rank_for(white), 10);
+}
+
+TEST(RankPolicy, MinRankEnforced) {
+  Rng rng(3);
+  Tensor u = rng.randn(Shape{8, 1});
+  Tensor v = rng.randn(Shape{8, 1});
+  Tensor w = pf::matmul_nt(u, v);
+  RankPolicy p = RankPolicy::energy_based(0.5, /*min_rank=*/3);
+  EXPECT_EQ(p.rank_for(w), 3);
+}
+
+TEST(PlanRanks, CoversAllDenseLayersOfResNet) {
+  Rng rng(4);
+  models::ResNetCifarConfig cfg;
+  cfg.width_mult = 0.125;
+  models::ResNet18Cifar model(cfg, rng);
+  RankPlan plan = plan_ranks(model, RankPolicy::fixed(0.25));
+  // conv1 + 16 block convs + 3 downsample convs + fc = 21 dense layers.
+  EXPECT_EQ(plan.entries.size(), 21u);
+  EXPECT_GT(plan.dense_params_total, plan.factored_params_total);
+  EXPECT_GT(plan.compression(), 1.0);
+  for (const RankPlanEntry& e : plan.entries) {
+    EXPECT_GE(e.rank, 1);
+    EXPECT_LE(e.rank, e.full_rank);
+    EXPECT_GE(e.retained_energy, 0.0);
+    EXPECT_LE(e.retained_energy, 1.0 + 1e-6);
+  }
+}
+
+TEST(PlanRanks, EnergyPolicySpendsMoreOnWhiteSpectra) {
+  // Random-init weights have flat spectra: a 90%-energy policy must assign
+  // higher ranks than ratio-0.25 almost everywhere.
+  Rng rng(5);
+  models::ResNetCifarConfig cfg;
+  cfg.width_mult = 0.0625;
+  models::ResNet18Cifar model(cfg, rng);
+  RankPlan fixed = plan_ranks(model, RankPolicy::fixed(0.25));
+  RankPlan energy = plan_ranks(model, RankPolicy::energy_based(0.9));
+  EXPECT_GT(energy.factored_params_total, fixed.factored_params_total);
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  metrics::Series a{"vanilla", {0.1, 0.3, 0.6, 0.9}, '*'};
+  metrics::Series b{"low-rank", {0.1, 0.2, 0.3, 0.5}, 'o'};
+  metrics::ChartOptions opts;
+  opts.width = 30;
+  opts.height = 8;
+  const std::string chart = metrics::render_chart({a, b}, opts);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("vanilla"), std::string::npos);
+  EXPECT_NE(chart.find("low-rank"), std::string::npos);
+  EXPECT_NE(chart.find("epoch"), std::string::npos);
+  // 8 plot rows + axis + legend lines.
+  EXPECT_GE(std::count(chart.begin(), chart.end(), '\n'), 9);
+}
+
+TEST(AsciiChart, HandlesDegenerateInputs) {
+  EXPECT_EQ(metrics::render_chart({}), "(empty chart)");
+  metrics::Series flat{"flat", {1.0, 1.0, 1.0}, '*'};
+  const std::string chart = metrics::render_chart({flat});
+  EXPECT_NE(chart.find('*'), std::string::npos);  // constant series plots
+  metrics::Series single{"one", {2.0}, 'x'};
+  EXPECT_NE(metrics::render_chart({single}).find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pf::core

@@ -1,0 +1,111 @@
+#include <filesystem>
+#include <fstream>
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "models/resnet.h"
+#include "models/vgg.h"
+
+namespace pf::nn {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Checkpoint, RoundTripPreservesParamsAndBuffers) {
+  Rng rng(1);
+  models::ResNetCifarConfig cfg;
+  cfg.width_mult = 0.0625;
+  models::ResNet18Cifar a(cfg, rng);
+
+  // Perturb BN running stats so buffers are nontrivial.
+  a.train(true);
+  a.forward(ag::leaf(rng.randn(Shape{2, 3, 8, 8})));
+
+  const std::string path = tmp_path("ckpt_roundtrip.bin");
+  save_checkpoint(a, path);
+
+  Rng rng2(999);  // different init
+  models::ResNet18Cifar b(cfg, rng2);
+  ASSERT_FALSE(allclose(a.flat_params(), b.flat_params()));
+  load_checkpoint(b, path);
+  EXPECT_TRUE(allclose(a.flat_params(), b.flat_params(), 0.0f, 0.0f));
+
+  // Buffers (BN running stats) restored too: eval outputs identical.
+  a.train(false);
+  b.train(false);
+  Tensor x = rng.randn(Shape{2, 3, 8, 8});
+  EXPECT_TRUE(allclose(a.forward(ag::leaf(x))->value,
+                       b.forward(ag::leaf(x))->value, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  Rng rng(2);
+  models::VggConfig vcfg;
+  vcfg.width_mult = 0.0625;
+  models::Vgg19 vgg(vcfg, rng);
+  const std::string path = tmp_path("ckpt_mismatch.bin");
+  save_checkpoint(vgg, path);
+
+  models::ResNetCifarConfig rcfg;
+  rcfg.width_mult = 0.0625;
+  models::ResNet18Cifar resnet(rcfg, rng);
+  EXPECT_THROW(load_checkpoint(resnet, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsHybridIntoVanilla) {
+  // The common user error: saving the hybrid and loading into the vanilla.
+  Rng rng(3);
+  models::ResNetCifarConfig v;
+  v.width_mult = 0.0625;
+  models::ResNetCifarConfig h = v;
+  h.first_lowrank_block = 2;
+  models::ResNet18Cifar hybrid(h, rng);
+  const std::string path = tmp_path("ckpt_hybrid.bin");
+  save_checkpoint(hybrid, path);
+  models::ResNet18Cifar vanilla(v, rng);
+  EXPECT_THROW(load_checkpoint(vanilla, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptFiles) {
+  Rng rng(4);
+  Linear l(4, 4, rng);
+  const std::string path = tmp_path("ckpt_corrupt.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char junk[] = "not a checkpoint";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_checkpoint(l, path), std::runtime_error);
+  EXPECT_THROW(load_checkpoint(l, tmp_path("does_not_exist.bin")),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileThrows) {
+  Rng rng(5);
+  Linear l(32, 32, rng);
+  const std::string path = tmp_path("ckpt_trunc.bin");
+  save_checkpoint(l, path);
+  // Truncate to half size.
+  {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    const auto size = is.tellg();
+    is.close();
+    std::filesystem::resize_file(path, static_cast<uintmax_t>(size) / 2);
+  }
+  Linear l2(32, 32, rng);
+  EXPECT_THROW(load_checkpoint(l2, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pf::nn

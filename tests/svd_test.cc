@@ -1,0 +1,263 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+
+namespace pf::linalg {
+namespace {
+
+// Check that the columns of m are orthonormal.
+void expect_orthonormal_columns(const Tensor& m, float tol = 1e-3f) {
+  const int64_t rows = m.size(0), cols = m.size(1);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t k = j; k < cols; ++k) {
+      double dot = 0;
+      for (int64_t i = 0; i < rows; ++i)
+        dot += static_cast<double>(m[i * cols + j]) * m[i * cols + k];
+      EXPECT_NEAR(dot, j == k ? 1.0 : 0.0, tol) << "cols " << j << "," << k;
+    }
+  }
+}
+
+TEST(JacobiEigh, DiagonalMatrix) {
+  Tensor a(Shape{3, 3});
+  a[0] = 3.0f;
+  a[4] = 1.0f;
+  a[8] = 2.0f;
+  EigResult r = jacobi_eigh(a);
+  EXPECT_NEAR(r.values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(r.values[1], 2.0f, 1e-5);
+  EXPECT_NEAR(r.values[2], 1.0f, 1e-5);
+}
+
+TEST(JacobiEigh, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Tensor a = Tensor::from_vector({2, 1, 1, 2}).reshape(Shape{2, 2});
+  EigResult r = jacobi_eigh(a);
+  EXPECT_NEAR(r.values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(r.values[1], 1.0f, 1e-5);
+  // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(r.vectors[0]), std::sqrt(0.5f), 1e-4);
+}
+
+TEST(JacobiEigh, ReconstructsMatrix) {
+  Rng rng(3);
+  Tensor m = rng.randn(Shape{6, 6});
+  Tensor a = matmul_tn(m, m);  // symmetric PSD
+  EigResult r = jacobi_eigh(a);
+  // A == V diag(lambda) V^T.
+  Tensor vl = r.vectors;
+  for (int64_t i = 0; i < 6; ++i)
+    for (int64_t j = 0; j < 6; ++j) vl[i * 6 + j] *= r.values[j];
+  Tensor rec = matmul_nt(vl, r.vectors);
+  EXPECT_TRUE(allclose(rec, a, 1e-3f, 1e-3f));
+  expect_orthonormal_columns(r.vectors);
+}
+
+TEST(GramSvd, ExactRankRecovery) {
+  // Build an exactly rank-2 matrix; full SVD must reconstruct it and the
+  // trailing singular values must be ~0.
+  Rng rng(5);
+  Tensor u = rng.randn(Shape{8, 2});
+  Tensor v = rng.randn(Shape{6, 2});
+  Tensor a = matmul_nt(u, v);
+  SvdResult s = gram_svd(a);
+  EXPECT_GT(s.s[0], s.s[1]);
+  EXPECT_NEAR(s.s[2], 0.0f, 1e-3f * s.s[0]);
+  EXPECT_LT(frobenius_diff(svd_reconstruct(s), a), 1e-3f * a.norm());
+}
+
+TEST(GramSvd, TruncationIsBestApproximation) {
+  Rng rng(7);
+  Tensor a = rng.randn(Shape{10, 7});
+  SvdResult full = gram_svd(a);
+  SvdResult r3 = gram_svd(a, 3);
+  // Eckart-Young: truncation error^2 == sum of discarded sigma^2.
+  double expected = 0;
+  for (int64_t i = 3; i < full.s.numel(); ++i)
+    expected += static_cast<double>(full.s[i]) * full.s[i];
+  const float err = frobenius_diff(svd_reconstruct(r3), a);
+  EXPECT_NEAR(err * err, expected, 0.02 * expected + 1e-4);
+}
+
+TEST(GramSvd, WideMatrix) {
+  Rng rng(11);
+  Tensor a = rng.randn(Shape{4, 12});
+  SvdResult s = gram_svd(a);
+  EXPECT_EQ(s.u.shape(), (Shape{4, 4}));
+  EXPECT_EQ(s.v.shape(), (Shape{12, 4}));
+  EXPECT_LT(frobenius_diff(svd_reconstruct(s), a), 1e-3f * a.norm());
+  expect_orthonormal_columns(s.u);
+  expect_orthonormal_columns(s.v);
+}
+
+TEST(GramSvd, SingularValuesMatchFrobenius) {
+  Rng rng(13);
+  Tensor a = rng.randn(Shape{9, 9});
+  SvdResult s = gram_svd(a);
+  double sum_sq = 0;
+  for (int64_t i = 0; i < s.s.numel(); ++i)
+    sum_sq += static_cast<double>(s.s[i]) * s.s[i];
+  EXPECT_NEAR(std::sqrt(sum_sq), a.norm(), 1e-2);
+}
+
+TEST(GramSvd, DescendingOrder) {
+  Rng rng(17);
+  Tensor a = rng.randn(Shape{12, 8});
+  SvdResult s = gram_svd(a);
+  for (int64_t i = 1; i < s.s.numel(); ++i)
+    EXPECT_GE(s.s[i - 1], s.s[i] - 1e-5f);
+}
+
+struct SvdCase {
+  int64_t m, n, rank;
+};
+
+class TruncSvdP : public ::testing::TestWithParam<SvdCase> {};
+
+TEST_P(TruncSvdP, ErrorDecreasesWithRank) {
+  const auto [m, n, rank] = GetParam();
+  Rng rng(m * 37 + n);
+  Tensor a = rng.randn(Shape{m, n});
+  Rng r1(1), r2(2);
+  const float e_lo = frobenius_diff(
+      svd_reconstruct(truncated_svd(a, rank, r1)), a);
+  const float e_hi = frobenius_diff(
+      svd_reconstruct(truncated_svd(a, std::min(m, n), r2)), a);
+  EXPECT_LE(e_hi, e_lo + 1e-4f);
+  EXPECT_LT(e_lo, a.norm());  // better than the zero matrix
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TruncSvdP,
+    ::testing::Values(SvdCase{16, 16, 4}, SvdCase{32, 8, 2},
+                      SvdCase{8, 32, 2}, SvdCase{64, 16, 8},
+                      SvdCase{27, 12, 3}));
+
+TEST(RandomizedSvd, AgreesWithExactOnLowRank) {
+  Rng rng(23);
+  Tensor u = rng.randn(Shape{40, 5});
+  Tensor v = rng.randn(Shape{30, 5});
+  Tensor a = matmul_nt(u, v);  // exactly rank 5
+  Rng seed(3);
+  SvdResult rs = randomized_svd(a, 5, seed);
+  EXPECT_LT(frobenius_diff(svd_reconstruct(rs), a), 1e-2f * a.norm());
+  // Singular values close to exact.
+  SvdResult ex = gram_svd(a, 5);
+  for (int64_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(rs.s[i], ex.s[i], 1e-2f * ex.s[0]);
+}
+
+TEST(RandomizedSvd, HandlesTruncationOfFullRank) {
+  Rng rng(29);
+  Tensor a = rng.randn(Shape{50, 20});
+  Rng seed(4);
+  SvdResult rs = randomized_svd(a, 6, seed);
+  SvdResult ex = gram_svd(a, 6);
+  const float re = frobenius_diff(svd_reconstruct(rs), a);
+  const float ee = frobenius_diff(svd_reconstruct(ex), a);
+  EXPECT_LT(re, 1.1f * ee + 1e-3f);  // near-optimal
+}
+
+TEST(OrthonormalizeColumns, MakesOrthonormal) {
+  Rng rng(31);
+  Tensor m = rng.randn(Shape{20, 6});
+  orthonormalize_columns(m);
+  expect_orthonormal_columns(m);
+}
+
+TEST(OrthonormalizeColumns, HandlesDuplicateColumns) {
+  Tensor m(Shape{5, 3});
+  for (int64_t i = 0; i < 5; ++i) {
+    m[i * 3 + 0] = static_cast<float>(i + 1);
+    m[i * 3 + 1] = static_cast<float>(i + 1);  // duplicate of col 0
+    m[i * 3 + 2] = static_cast<float>(i * i);
+  }
+  orthonormalize_columns(m);
+  expect_orthonormal_columns(m, 2e-3f);
+}
+
+TEST(OrthonormalizeColumns, SpanIsPreserved) {
+  Rng rng(37);
+  Tensor m = rng.randn(Shape{12, 3});
+  Tensor orig = m;
+  orthonormalize_columns(m);
+  // Each original column must be expressible in the new basis:
+  // residual of projection ~ 0.
+  for (int64_t j = 0; j < 3; ++j) {
+    std::vector<float> col(12);
+    for (int64_t i = 0; i < 12; ++i) col[static_cast<size_t>(i)] = orig[i * 3 + j];
+    std::vector<float> res = col;
+    for (int64_t b = 0; b < 3; ++b) {
+      double dot = 0;
+      for (int64_t i = 0; i < 12; ++i)
+        dot += static_cast<double>(res[static_cast<size_t>(i)]) * m[i * 3 + b];
+      for (int64_t i = 0; i < 12; ++i)
+        res[static_cast<size_t>(i)] -= static_cast<float>(dot) * m[i * 3 + b];
+    }
+    double rn = 0;
+    for (float v : res) rn += static_cast<double>(v) * v;
+    EXPECT_NEAR(std::sqrt(rn), 0.0, 1e-2);
+  }
+}
+
+TEST(FrobeniusDiff, Basics) {
+  Tensor a = Tensor::ones(Shape{2, 2});
+  Tensor b = Tensor::zeros(Shape{2, 2});
+  EXPECT_NEAR(frobenius_diff(a, b), 2.0f, 1e-5);
+  EXPECT_NEAR(frobenius_diff(a, a), 0.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace pf::linalg
+
+// (appended) tred2/tqli eigensolver checks against Jacobi.
+namespace pf::linalg {
+namespace {
+
+TEST(TridiagEigh, MatchesJacobiOnRandomSymmetric) {
+  Rng rng(41);
+  for (int64_t n : {5, 17, 64, 150}) {
+    Tensor m = rng.randn(Shape{n, n});
+    Tensor a = matmul_tn(m, m);
+    EigResult jr = jacobi_eigh(a);
+    EigResult tr = tridiag_eigh(a);
+    for (int64_t i = 0; i < n; ++i)
+      EXPECT_NEAR(tr.values[i], jr.values[i],
+                  1e-3f * std::max(1.0f, jr.values[0]))
+          << "n=" << n << " i=" << i;
+    // Eigenvectors reconstruct A.
+    Tensor vl = tr.vectors;
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < n; ++j) vl[i * n + j] *= tr.values[j];
+    Tensor rec = matmul_nt(vl, tr.vectors);
+    EXPECT_LT(frobenius_diff(rec, a), 1e-3f * a.norm()) << "n=" << n;
+  }
+}
+
+TEST(TridiagEigh, DiagonalAndIdentity) {
+  Tensor d(Shape{4, 4});
+  d[0] = 4; d[5] = 1; d[10] = 3; d[15] = 2;
+  EigResult r = tridiag_eigh(d);
+  EXPECT_NEAR(r.values[0], 4.0f, 1e-5);
+  EXPECT_NEAR(r.values[3], 1.0f, 1e-5);
+  Tensor eye(Shape{3, 3});
+  for (int64_t i = 0; i < 3; ++i) eye[i * 3 + i] = 1.0f;
+  EigResult re = tridiag_eigh(eye);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(re.values[i], 1.0f, 1e-6);
+}
+
+TEST(Eigh, DispatchesBySize) {
+  Rng rng(43);
+  Tensor m = rng.randn(Shape{120, 120});
+  Tensor a = matmul_tn(m, m);
+  EigResult r = eigh(a);  // tridiag path
+  EigResult j = jacobi_eigh(a);
+  EXPECT_NEAR(r.values[0], j.values[0], 1e-2f * j.values[0]);
+}
+
+}  // namespace
+}  // namespace pf::linalg
