@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_svd_amortization.dir/bench_ablation_svd_amortization.cc.o"
+  "CMakeFiles/bench_ablation_svd_amortization.dir/bench_ablation_svd_amortization.cc.o.d"
+  "bench_ablation_svd_amortization"
+  "bench_ablation_svd_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_svd_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

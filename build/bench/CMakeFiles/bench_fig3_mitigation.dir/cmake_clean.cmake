@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mitigation.dir/bench_fig3_mitigation.cc.o"
+  "CMakeFiles/bench_fig3_mitigation.dir/bench_fig3_mitigation.cc.o.d"
+  "bench_fig3_mitigation"
+  "bench_fig3_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

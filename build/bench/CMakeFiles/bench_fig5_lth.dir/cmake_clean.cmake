@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lth.dir/bench_fig5_lth.cc.o"
+  "CMakeFiles/bench_fig5_lth.dir/bench_fig5_lth.cc.o.d"
+  "bench_fig5_lth"
+  "bench_fig5_lth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pufferfish_powersgd.dir/bench_fig6_pufferfish_powersgd.cc.o"
+  "CMakeFiles/bench_fig6_pufferfish_powersgd.dir/bench_fig6_pufferfish_powersgd.cc.o.d"
+  "bench_fig6_pufferfish_powersgd"
+  "bench_fig6_pufferfish_powersgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pufferfish_powersgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_binary_quant.dir/bench_fig7_binary_quant.cc.o"
+  "CMakeFiles/bench_fig7_binary_quant.dir/bench_fig7_binary_quant.cc.o.d"
+  "bench_fig7_binary_quant"
+  "bench_fig7_binary_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_binary_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_binary_quant.
+# This may be replaced when dependencies are built.

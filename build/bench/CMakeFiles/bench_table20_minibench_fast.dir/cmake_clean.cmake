@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table20_minibench_fast.dir/bench_table20_minibench_fast.cc.o"
+  "CMakeFiles/bench_table20_minibench_fast.dir/bench_table20_minibench_fast.cc.o.d"
+  "bench_table20_minibench_fast"
+  "bench_table20_minibench_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table20_minibench_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table21_22_ablation_more.dir/bench_table21_22_ablation_more.cc.o"
+  "CMakeFiles/bench_table21_22_ablation_more.dir/bench_table21_22_ablation_more.cc.o.d"
+  "bench_table21_22_ablation_more"
+  "bench_table21_22_ablation_more.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table21_22_ablation_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table21_22_ablation_more.
+# This may be replaced when dependencies are built.

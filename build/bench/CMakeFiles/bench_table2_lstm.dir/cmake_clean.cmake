@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lstm.dir/bench_table2_lstm.cc.o"
+  "CMakeFiles/bench_table2_lstm.dir/bench_table2_lstm.cc.o.d"
+  "bench_table2_lstm"
+  "bench_table2_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_transformer.dir/bench_table3_transformer.cc.o"
+  "CMakeFiles/bench_table3_transformer.dir/bench_table3_transformer.cc.o.d"
+  "bench_table3_transformer"
+  "bench_table3_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cifar.dir/bench_table4_cifar.cc.o"
+  "CMakeFiles/bench_table4_cifar.dir/bench_table4_cifar.cc.o.d"
+  "bench_table4_cifar"
+  "bench_table4_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

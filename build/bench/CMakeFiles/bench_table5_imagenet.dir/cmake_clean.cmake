@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_imagenet.dir/bench_table5_imagenet.cc.o"
+  "CMakeFiles/bench_table5_imagenet.dir/bench_table5_imagenet.cc.o.d"
+  "bench_table5_imagenet"
+  "bench_table5_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_minibench.dir/bench_table6_minibench.cc.o"
+  "CMakeFiles/bench_table6_minibench.dir/bench_table6_minibench.cc.o.d"
+  "bench_table6_minibench"
+  "bench_table6_minibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_minibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

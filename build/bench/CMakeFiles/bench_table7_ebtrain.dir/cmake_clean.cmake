@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ebtrain.dir/bench_table7_ebtrain.cc.o"
+  "CMakeFiles/bench_table7_ebtrain.dir/bench_table7_ebtrain.cc.o.d"
+  "bench_table7_ebtrain"
+  "bench_table7_ebtrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ebtrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_ablation_lstm.dir/bench_table9_ablation_lstm.cc.o"
+  "CMakeFiles/bench_table9_ablation_lstm.dir/bench_table9_ablation_lstm.cc.o.d"
+  "bench_table9_ablation_lstm"
+  "bench_table9_ablation_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_ablation_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_zoo.dir/compression_zoo.cpp.o"
+  "CMakeFiles/compression_zoo.dir/compression_zoo.cpp.o.d"
+  "compression_zoo"
+  "compression_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_lowrank.dir/distributed_lowrank.cpp.o"
+  "CMakeFiles/distributed_lowrank.dir/distributed_lowrank.cpp.o.d"
+  "distributed_lowrank"
+  "distributed_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

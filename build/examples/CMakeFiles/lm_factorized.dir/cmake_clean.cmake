@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_factorized.dir/lm_factorized.cpp.o"
+  "CMakeFiles/lm_factorized.dir/lm_factorized.cpp.o.d"
+  "lm_factorized"
+  "lm_factorized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_factorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufferfish_cli.dir/pufferfish_cli.cpp.o"
+  "CMakeFiles/pufferfish_cli.dir/pufferfish_cli.cpp.o.d"
+  "pufferfish_cli"
+  "pufferfish_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufferfish_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

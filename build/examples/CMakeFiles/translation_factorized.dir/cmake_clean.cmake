@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_factorized.dir/translation_factorized.cpp.o"
+  "CMakeFiles/translation_factorized.dir/translation_factorized.cpp.o.d"
+  "translation_factorized"
+  "translation_factorized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_factorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops_basic.cc" "src/CMakeFiles/pufferfish.dir/autograd/ops_basic.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/ops_basic.cc.o.d"
+  "/root/repo/src/autograd/ops_conv.cc" "src/CMakeFiles/pufferfish.dir/autograd/ops_conv.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/ops_conv.cc.o.d"
+  "/root/repo/src/autograd/ops_loss.cc" "src/CMakeFiles/pufferfish.dir/autograd/ops_loss.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/ops_loss.cc.o.d"
+  "/root/repo/src/autograd/ops_matmul.cc" "src/CMakeFiles/pufferfish.dir/autograd/ops_matmul.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/ops_matmul.cc.o.d"
+  "/root/repo/src/autograd/ops_misc.cc" "src/CMakeFiles/pufferfish.dir/autograd/ops_misc.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/ops_misc.cc.o.d"
+  "/root/repo/src/autograd/ops_norm.cc" "src/CMakeFiles/pufferfish.dir/autograd/ops_norm.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/ops_norm.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/pufferfish.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/baselines/eb_train.cc" "src/CMakeFiles/pufferfish.dir/baselines/eb_train.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/baselines/eb_train.cc.o.d"
+  "/root/repo/src/baselines/lth.cc" "src/CMakeFiles/pufferfish.dir/baselines/lth.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/baselines/lth.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/CMakeFiles/pufferfish.dir/compress/compressor.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/compress/compressor.cc.o.d"
+  "/root/repo/src/core/amp.cc" "src/CMakeFiles/pufferfish.dir/core/amp.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/core/amp.cc.o.d"
+  "/root/repo/src/core/factorize.cc" "src/CMakeFiles/pufferfish.dir/core/factorize.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/core/factorize.cc.o.d"
+  "/root/repo/src/core/rank_policy.cc" "src/CMakeFiles/pufferfish.dir/core/rank_policy.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/core/rank_policy.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/pufferfish.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/pufferfish.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/CMakeFiles/pufferfish.dir/dist/cluster.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/dist/cluster.cc.o.d"
+  "/root/repo/src/dist/cost_model.cc" "src/CMakeFiles/pufferfish.dir/dist/cost_model.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/dist/cost_model.cc.o.d"
+  "/root/repo/src/dist/ring_sim.cc" "src/CMakeFiles/pufferfish.dir/dist/ring_sim.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/dist/ring_sim.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/pufferfish.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/metrics/ascii_chart.cc" "src/CMakeFiles/pufferfish.dir/metrics/ascii_chart.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/metrics/ascii_chart.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/pufferfish.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/models/lstm_lm.cc" "src/CMakeFiles/pufferfish.dir/models/lstm_lm.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/models/lstm_lm.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/CMakeFiles/pufferfish.dir/models/resnet.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/models/resnet.cc.o.d"
+  "/root/repo/src/models/transformer_mt.cc" "src/CMakeFiles/pufferfish.dir/models/transformer_mt.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/models/transformer_mt.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "src/CMakeFiles/pufferfish.dir/models/vgg.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/models/vgg.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/pufferfish.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/pufferfish.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/pufferfish.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/pufferfish.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/pufferfish.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/pufferfish.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/optim/optim.cc" "src/CMakeFiles/pufferfish.dir/optim/optim.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/optim/optim.cc.o.d"
+  "/root/repo/src/tensor/im2col.cc" "src/CMakeFiles/pufferfish.dir/tensor/im2col.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/tensor/im2col.cc.o.d"
+  "/root/repo/src/tensor/matmul.cc" "src/CMakeFiles/pufferfish.dir/tensor/matmul.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/tensor/matmul.cc.o.d"
+  "/root/repo/src/tensor/rng.cc" "src/CMakeFiles/pufferfish.dir/tensor/rng.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/tensor/rng.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/pufferfish.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/pufferfish.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pufferfish.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("linalg")
+subdirs("autograd")
+subdirs("nn")
+subdirs("optim")
+subdirs("models")
+subdirs("core")
+subdirs("dist")
+subdirs("compress")
+subdirs("baselines")
+subdirs("data")
+subdirs("metrics")

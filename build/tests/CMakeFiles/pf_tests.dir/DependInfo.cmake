@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/pf_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/pf_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/compressor_test.cc" "tests/CMakeFiles/pf_tests.dir/compressor_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/compressor_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/pf_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/dist_test.cc" "tests/CMakeFiles/pf_tests.dir/dist_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/dist_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/pf_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/factorize_test.cc" "tests/CMakeFiles/pf_tests.dir/factorize_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/factorize_test.cc.o.d"
+  "/root/repo/tests/fuzz_gradcheck_test.cc" "tests/CMakeFiles/pf_tests.dir/fuzz_gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/fuzz_gradcheck_test.cc.o.d"
+  "/root/repo/tests/im2col_test.cc" "tests/CMakeFiles/pf_tests.dir/im2col_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/im2col_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/pf_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lstm_test.cc" "tests/CMakeFiles/pf_tests.dir/lstm_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/lstm_test.cc.o.d"
+  "/root/repo/tests/matmul_test.cc" "tests/CMakeFiles/pf_tests.dir/matmul_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/matmul_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/pf_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/pf_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/nn_layers_test.cc" "tests/CMakeFiles/pf_tests.dir/nn_layers_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/nn_layers_test.cc.o.d"
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/pf_tests.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/optim_test.cc.o.d"
+  "/root/repo/tests/rank_policy_test.cc" "tests/CMakeFiles/pf_tests.dir/rank_policy_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/rank_policy_test.cc.o.d"
+  "/root/repo/tests/reference_test.cc" "tests/CMakeFiles/pf_tests.dir/reference_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/reference_test.cc.o.d"
+  "/root/repo/tests/ring_sim_test.cc" "tests/CMakeFiles/pf_tests.dir/ring_sim_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/ring_sim_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/pf_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/pf_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/svd_test.cc" "tests/CMakeFiles/pf_tests.dir/svd_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/svd_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/pf_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/pf_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/transformer_test.cc" "tests/CMakeFiles/pf_tests.dir/transformer_test.cc.o" "gcc" "tests/CMakeFiles/pf_tests.dir/transformer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pufferfish.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
