@@ -16,6 +16,8 @@
 
 #include "core/factorize.h"
 #include "dist/cluster.h"
+#include "runtime/shm_cluster.h"
+#include "runtime/thread_pool.h"
 
 using namespace bench;
 
@@ -222,6 +224,72 @@ int main() {
         "claim: the speedup grows with the cluster because communication "
         "(which Pufferfish cuts 1.68x) becomes a larger share of the step "
         "as nodes increase; the paper measures 1.52x at 16 nodes.\n");
+  }
+
+  // ---- (d) measured vs modeled: real shm executor next to the model. ----
+  {
+    std::printf("\n(d) measured vs modeled, ResNet-18-class, 4 workers "
+                "(shared-memory threads vs alpha-beta simulator):\n");
+    data::SyntheticImages ds = cifar_like(10, 16, 128, 64);
+    dist::DistTrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.global_batch = 32;
+    cfg.lr = 0.05f;
+
+    struct Pair {
+      std::string name;
+      dist::EpochBreakdown modeled, measured;
+    };
+    std::vector<Pair> pairs;
+    for (int factorized = 0; factorized < 2; ++factorized) {
+      Pair p;
+      p.name = factorized ? "Pufferfish (hybrid)" : "vanilla";
+      auto factory = make_resnet18(0.125, factorized ? 2 : 0);
+      {
+        // Seed the modeled trainer's model exactly like the shm replicas so
+        // both executors walk the same loss trajectory.
+        Rng rng(cfg.seed * 0x9E3779B9u + 101);
+        dist::CostModel cm;
+        cm.nodes = 4;
+        dist::DataParallelTrainer modeled(
+            factory(rng), std::make_unique<compress::AllreduceReducer>(), cm,
+            cfg);
+        p.modeled = modeled.train(ds).back().breakdown;
+      }
+      {
+        runtime::ShmClusterConfig scfg;
+        scfg.workers = 4;
+        scfg.train = cfg;
+        runtime::ShmDataParallelTrainer shm(
+            factory, std::make_unique<compress::AllreduceReducer>(), scfg);
+        p.measured = shm.train(ds).back().breakdown;
+      }
+      pairs.push_back(std::move(p));
+    }
+    metrics::Table t({"model", "comp model/meas (s)", "comm model/meas (s)",
+                      "total model/meas (s)", "payload/worker"});
+    for (const Pair& p : pairs) {
+      t.add_row({p.name,
+                 metrics::fmt(p.modeled.compute_s, 3) + " / " +
+                     metrics::fmt(p.measured.compute_s, 3),
+                 metrics::fmt(p.modeled.comm_s, 3) + " / " +
+                     metrics::fmt(p.measured.comm_s, 3),
+                 metrics::fmt(p.modeled.total(), 3) + " / " +
+                     metrics::fmt(p.measured.total(), 3),
+                 metrics::fmt_bytes(p.measured.bytes_per_worker)});
+    }
+    t.print();
+    std::printf(
+        "claim: both executors run the same gradients on the same shards, so "
+        "the factorized/vanilla compute ratio matches (modeled %.2f vs "
+        "measured %.2f; absolute seconds differ when workers share cores); "
+        "the comm columns contrast a 10 Gbps ring model with in-memory "
+        "aggregation -- the factorized model still shrinks the real payload "
+        "%.2fx.\n",
+        pairs[1].modeled.compute_s / pairs[0].modeled.compute_s,
+        pairs[1].measured.compute_s / pairs[0].measured.compute_s,
+        static_cast<double>(pairs[0].measured.bytes_per_worker) /
+            static_cast<double>(pairs[1].measured.bytes_per_worker));
   }
 
   // ---- paper-scale comm projection. ----

@@ -7,6 +7,7 @@
 #include "compress/compressor.h"
 #include "linalg/svd.h"
 #include "nn/layers.h"
+#include "runtime/thread_pool.h"
 #include "tensor/matmul.h"
 
 using namespace pf;
@@ -38,6 +39,49 @@ void BM_MatmulNt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatmulNt)->Arg(128)->Arg(256);
+
+// Thread-scaling sweep over the parallel runtime (src/runtime): vanilla
+// n x n GEMM vs the factorized pair (n x r) @ (r x n) at the paper's
+// rank-ratio 0.25, at 1/2/4/8 pool threads. Rows land in the standard
+// google-benchmark output (use --benchmark_format=json for machine-readable
+// rows alongside the other kernel benches).
+void BM_MatmulVanillaThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  runtime::set_threads(static_cast<int>(state.range(1)));
+  Rng rng(10);
+  Tensor a = rng.randn(Shape{n, n});
+  Tensor b = rng.randn(Shape{n, n});
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  runtime::set_threads(0);  // back to the PF_THREADS env default
+}
+BENCHMARK(BM_MatmulVanillaThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8})
+    ->Args({512, 1})->Args({512, 2})->Args({512, 4})->Args({512, 8});
+
+void BM_MatmulFactorizedThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t r = n / 4;  // rank-ratio 0.25
+  runtime::set_threads(static_cast<int>(state.range(1)));
+  Rng rng(11);
+  Tensor a = rng.randn(Shape{n, n});
+  Tensor u = rng.randn(Shape{n, r});
+  Tensor v = rng.randn(Shape{r, n});
+  for (auto _ : state) {
+    Tensor c = matmul(matmul(a, u), v);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * r);
+  runtime::set_threads(0);
+}
+BENCHMARK(BM_MatmulFactorizedThreads)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8})
+    ->Args({512, 1})->Args({512, 2})->Args({512, 4})->Args({512, 8});
 
 // Dense vs factorized conv at the paper's 512->512 3x3 shape (scaled 1/8).
 void BM_ConvDense(benchmark::State& state) {

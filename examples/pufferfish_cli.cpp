@@ -22,6 +22,7 @@
 #include "models/resnet.h"
 #include "models/vgg.h"
 #include "nn/serialize.h"
+#include "runtime/thread_pool.h"
 
 using namespace pf;
 
@@ -63,7 +64,7 @@ int usage() {
       "                         [--rank-ratio R=0.25] [--epochs N=8]\n"
       "                         [--warmup N=2] [--width W=0.125]\n"
       "                         [--classes C=10] [--seed S=0]\n"
-      "                         [--checkpoint PATH]\n"
+      "                         [--threads T=PF_THREADS] [--checkpoint PATH]\n"
       "  pufferfish_cli eval    --model M --checkpoint PATH [--width W]\n"
       "                         [--rank-ratio R] [--classes C]\n"
       "  pufferfish_cli inspect --model M   (paper-scale params & MACs)\n");
@@ -144,10 +145,14 @@ int cmd_train(const Args& a) {
   cfg.lr = static_cast<float>(a.get_d("lr", 0.05));
   cfg.lr_milestones = {(3 * cfg.epochs) / 4};
   cfg.seed = static_cast<uint64_t>(a.get_i("seed", 0));
+  cfg.threads = a.get_i("threads", 0);  // 0 = PF_THREADS env default
+  if (cfg.threads > 0) runtime::set_threads(cfg.threads);
 
   data::SyntheticImages ds = make_data(classes, hw);
-  std::printf("training %s (width %.3f, rank ratio %.3f) for %d epochs...\n",
-              model.c_str(), width, ratio, cfg.epochs);
+  std::printf(
+      "training %s (width %.3f, rank ratio %.3f) for %d epochs on %d "
+      "thread(s)...\n",
+      model.c_str(), width, ratio, cfg.epochs, runtime::threads());
   core::VisionResult r = core::train_vision(vanilla, hybrid, ds, cfg);
   for (const core::EpochRecord& e : r.epochs)
     std::printf("  epoch %2d [%s] loss %.3f acc %.1f%% (%.1fs)\n", e.epoch,

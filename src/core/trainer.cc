@@ -6,6 +6,7 @@
 #include "core/amp.h"
 #include "metrics/metrics.h"
 #include "optim/optim.h"
+#include "runtime/thread_pool.h"
 
 namespace pf::core {
 
@@ -68,6 +69,7 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
                           const data::SyntheticImages& ds,
                           const VisionTrainConfig& cfg) {
   metrics::Timer total_timer;
+  if (cfg.threads > 0) runtime::set_threads(cfg.threads);
   Rng rng(cfg.seed * 0x9E3779B9u + 17);
   VisionResult out;
 

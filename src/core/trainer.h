@@ -38,6 +38,9 @@ struct VisionTrainConfig {
   float label_smoothing = 0.0f;
   bool amp = false;  // emulated fp16 compute (core/amp.h)
   uint64_t seed = 0;
+  // Compute-kernel threads for this run; 0 keeps the PF_THREADS env default
+  // (see runtime/thread_pool.h).
+  int threads = 0;
 };
 
 struct EpochRecord {

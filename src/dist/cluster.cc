@@ -1,8 +1,18 @@
 #include "dist/cluster.h"
 
 #include "metrics/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace pf::dist {
+
+float lr_at_epoch(const DistTrainConfig& cfg, int epoch) {
+  if (epoch < cfg.lr_warmup_epochs) {
+    const float frac = static_cast<float>(epoch + 1) / cfg.lr_warmup_epochs;
+    return cfg.lr_warmup_start + (cfg.lr - cfg.lr_warmup_start) * frac;
+  }
+  return optim::StepDecay(cfg.lr, cfg.lr_milestones, cfg.lr_factor)
+      .at_epoch(epoch);
+}
 
 DataParallelTrainer::DataParallelTrainer(
     std::unique_ptr<nn::UnaryModule> model,
@@ -12,6 +22,7 @@ DataParallelTrainer::DataParallelTrainer(
       reducer_(std::move(reducer)),
       cm_(cost_model),
       cfg_(cfg) {
+  if (cfg.threads > 0) runtime::set_threads(cfg.threads);
   opt_ = std::make_unique<optim::SGD>(model_->parameters(), cfg.lr,
                                       cfg.momentum, cfg.weight_decay);
   for (nn::Param* p : model_->parameters())
@@ -35,17 +46,7 @@ DistEpochRecord DataParallelTrainer::train_epoch(
   const int nodes = cm_.nodes;
   const int64_t shard = std::max<int64_t>(1, cfg_.global_batch / nodes);
 
-  // Learning-rate schedule with optional linear warm-up.
-  float lr;
-  if (epoch < cfg_.lr_warmup_epochs) {
-    const float frac =
-        static_cast<float>(epoch + 1) / cfg_.lr_warmup_epochs;
-    lr = cfg_.lr_warmup_start + (cfg_.lr - cfg_.lr_warmup_start) * frac;
-  } else {
-    lr = optim::StepDecay(cfg_.lr, cfg_.lr_milestones, cfg_.lr_factor)
-             .at_epoch(epoch);
-  }
-  opt_->set_lr(lr);
+  opt_->set_lr(lr_at_epoch(cfg_, epoch));
 
   DistEpochRecord rec;
   rec.epoch = epoch;

@@ -53,7 +53,14 @@ struct DistTrainConfig {
   float lr_warmup_start = 0.01f;
   float label_smoothing = 0.0f;
   uint64_t seed = 0;
+  // Compute-kernel threads for this run; 0 keeps the PF_THREADS env default
+  // (see runtime/thread_pool.h).
+  int threads = 0;
 };
+
+// Learning rate at `epoch` under cfg's linear warm-up + step-decay schedule.
+// Shared by the modeled cluster and the shm executor (runtime/shm_cluster).
+float lr_at_epoch(const DistTrainConfig& cfg, int epoch);
 
 class DataParallelTrainer {
  public:

@@ -1,0 +1,209 @@
+#include "runtime/shm_cluster.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "metrics/metrics.h"
+
+namespace pf::runtime {
+
+namespace {
+
+// Reusable rendezvous point for the cluster's worker threads.
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n) {}
+  void wait() {
+    std::unique_lock<std::mutex> lk(m_);
+    const uint64_t gen = gen_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return gen_ != gen; });
+    }
+  }
+
+ private:
+  const int n_;
+  int arrived_ = 0;
+  uint64_t gen_ = 0;
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+}  // namespace
+
+ShmDataParallelTrainer::ShmDataParallelTrainer(
+    const core::VisionModelFactory& make_model,
+    std::unique_ptr<compress::Reducer> reducer, const ShmClusterConfig& cfg)
+    : cfg_(cfg), reducer_(std::move(reducer)) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  // A missing or plain-allreduce reducer means the payload sums, so the
+  // worker threads can execute the bucketed reduction themselves.
+  ring_path_ = !reducer_ || reducer_->name() == "allreduce";
+  const dist::DistTrainConfig& tc = cfg_.train;
+  for (int w = 0; w < cfg_.workers; ++w) {
+    // Every replica is built from an identically seeded Rng: replicas start
+    // bitwise equal, and stay equal because each step applies the same
+    // aggregated gradient.
+    Rng rng(tc.seed * 0x9E3779B9u + 101);
+    replicas_.push_back(make_model(rng));
+    opts_.push_back(std::make_unique<optim::SGD>(
+        replicas_.back()->parameters(), tc.lr, tc.momentum, tc.weight_decay));
+    worker_rngs_.push_back(Rng::stream(tc.seed, static_cast<uint64_t>(w)));
+  }
+  for (nn::Param* p : replicas_[0]->parameters())
+    param_shapes_.push_back(p->var->value.shape());
+}
+
+dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
+    const data::SyntheticImages& ds, int epoch) {
+  const int workers = cfg_.workers;
+  const dist::DistTrainConfig& tc = cfg_.train;
+  const int64_t shard = std::max<int64_t>(1, tc.global_batch / workers);
+  const float lr = dist::lr_at_epoch(tc, epoch);
+  for (auto& o : opts_) o->set_lr(lr);
+  for (auto& r : replicas_) r->train(true);
+
+  int64_t total_params = 0;
+  for (const Shape& s : param_shapes_) total_params += shape_numel(s);
+  const int64_t bucket_elems =
+      std::max<int64_t>(1, cfg_.bucket_bytes / static_cast<int64_t>(sizeof(float)));
+  const int64_t n_buckets = (total_params + bucket_elems - 1) / bucket_elems;
+
+  metrics::Timer wall;
+  const auto batches = ds.train_batches(tc.global_batch, epoch);
+
+  // Shared step state. Workers only write their own arena slot / loss cell;
+  // all cross-worker reads are separated from the writes by a rendezvous.
+  std::vector<Tensor> arena(static_cast<size_t>(workers));
+  Tensor agg(Shape{total_params});
+  std::vector<double> losses(static_cast<size_t>(workers), 0.0);
+  std::vector<double> compute_acc(static_cast<size_t>(workers), 0.0);
+  std::vector<double> comm_acc(static_cast<size_t>(workers), 0.0);
+  double encode_s = 0, decode_s = 0, loss_sum = 0;
+  int64_t bytes_per_worker =
+      ring_path_ ? total_params * static_cast<int64_t>(sizeof(float)) : 0;
+  int64_t steps = 0;
+  Barrier barrier(workers);
+
+  auto worker_fn = [&](int w) {
+    for (const data::ImageBatch& gb : batches) {
+      const int64_t bsz = gb.images.size(0);
+      const int n_active = static_cast<int>(
+          std::min<int64_t>(workers, (bsz + shard - 1) / shard));
+
+      metrics::Timer t_compute;
+      if (w < n_active) {
+        const int64_t start = w * shard;
+        const int64_t count = std::min<int64_t>(shard, bsz - start);
+        Tensor imgs = slice(gb.images, 0, start, count);
+        std::vector<int64_t> labels(gb.labels.begin() + start,
+                                    gb.labels.begin() + start + count);
+        nn::UnaryModule& m = *replicas_[static_cast<size_t>(w)];
+        m.zero_grad();
+        ag::Var logits = m.forward(ag::leaf(std::move(imgs)));
+        ag::Var loss = ag::cross_entropy(logits, labels, tc.label_smoothing);
+        ag::backward(loss);
+        arena[static_cast<size_t>(w)] = m.flat_grads();
+        losses[static_cast<size_t>(w)] = loss->value[0];
+      }
+      compute_acc[static_cast<size_t>(w)] += t_compute.seconds();
+
+      metrics::Timer t_comm;
+      if (ring_path_) {
+        // Bucketed all-reduce run by the workers themselves. Buckets are
+        // walked from the tail of the flat buffer -- the order backward
+        // produces gradients -- so a real ring would overlap early buckets
+        // with the head of the next step's compute. Each bucket: rendezvous,
+        // then a reduce-scatter where worker w owns segment w and sums it
+        // across replicas in ascending replica order (bitwise identical to
+        // the sequential mean); the allgather is free in shared memory.
+        const float inv = 1.0f / static_cast<float>(n_active);
+        for (int64_t k = n_buckets - 1; k >= 0; --k) {
+          barrier.wait();
+          const int64_t b0 = k * bucket_elems;
+          const int64_t b1 = std::min(b0 + bucket_elems, total_params);
+          const int64_t seg = (b1 - b0 + n_active - 1) / n_active;
+          if (w < n_active) {
+            const int64_t s0 = b0 + w * seg;
+            const int64_t s1 = std::min(s0 + seg, b1);
+            for (int64_t i = s0; i < s1; ++i) {
+              float acc = arena[0][i];
+              for (int j = 1; j < n_active; ++j)
+                acc += arena[static_cast<size_t>(j)][i];
+              agg[i] = acc * inv;
+            }
+          }
+        }
+        barrier.wait();
+      } else {
+        // Non-summing payloads go through the Reducer exactly as the
+        // modeled cluster runs it, centralized on worker 0.
+        barrier.wait();
+        if (w == 0) {
+          std::vector<Tensor> grads(arena.begin(), arena.begin() + n_active);
+          compress::ReduceStats stats;
+          agg = reducer_->reduce(grads, param_shapes_, &stats);
+          encode_s += stats.encode_seconds / workers;
+          decode_s += stats.decode_seconds;
+          bytes_per_worker = stats.payload_bytes_per_worker;
+        }
+        barrier.wait();
+      }
+      comm_acc[static_cast<size_t>(w)] += t_comm.seconds();
+
+      replicas_[static_cast<size_t>(w)]->set_flat_grads(agg);
+      opts_[static_cast<size_t>(w)]->step();
+      if (w == 0) {
+        for (int j = 0; j < n_active; ++j) {
+          loss_sum += losses[static_cast<size_t>(j)];
+          ++steps;
+        }
+      }
+      // Keeps arena and agg stable until every worker has stepped.
+      barrier.wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (std::thread& t : pool) t.join();
+
+  dist::DistEpochRecord rec;
+  rec.epoch = epoch;
+  rec.breakdown.compute_s =
+      std::accumulate(compute_acc.begin(), compute_acc.end(), 0.0) / workers;
+  rec.breakdown.comm_s =
+      std::accumulate(comm_acc.begin(), comm_acc.end(), 0.0) / workers;
+  rec.breakdown.encode_s = encode_s;
+  rec.breakdown.decode_s = decode_s;
+  rec.breakdown.bytes_per_worker = bytes_per_worker;
+  rec.breakdown.other_s = std::max(
+      0.0, wall.seconds() - rec.breakdown.compute_s - rec.breakdown.comm_s -
+               rec.breakdown.encode_s - rec.breakdown.decode_s);
+  rec.train_loss = loss_sum / std::max<int64_t>(1, steps);
+  const core::EvalResult ev =
+      core::evaluate_vision(*replicas_[0], ds, tc.global_batch);
+  rec.test_acc = ev.acc;
+  wall_seconds_ += rec.breakdown.total();
+  rec.cumulative_sim_seconds = wall_seconds_;
+  return rec;
+}
+
+std::vector<dist::DistEpochRecord> ShmDataParallelTrainer::train(
+    const data::SyntheticImages& ds) {
+  std::vector<dist::DistEpochRecord> out;
+  for (int e = 0; e < cfg_.train.epochs; ++e)
+    out.push_back(train_epoch(ds, e));
+  return out;
+}
+
+}  // namespace pf::runtime

@@ -1,0 +1,83 @@
+// Real shared-memory data-parallel executor: the measured counterpart to
+// the modeled `dist::DataParallelTrainer`.
+//
+// N worker threads each own a full model replica built from identically
+// seeded factories (replicas start bitwise equal and stay equal, because
+// every worker applies the same aggregated gradient with its own optimizer).
+// Each step the global batch is sharded exactly like dist/cluster.cc;
+// workers compute real gradients on their shard concurrently and aggregate
+// through one of two paths:
+//
+//  * ring path (allreduce-compatible payloads, i.e. the paper's vanilla /
+//    Pufferfish flat buffers): a bucketed all-reduce executed by the worker
+//    threads themselves. The flat gradient is split into buckets walked from
+//    the tail of the buffer (the order backward produces gradients, DDP's
+//    overlap trick); each bucket is a rendezvous followed by a
+//    reduce-scatter over the shared arena -- worker w sums segment w of the
+//    bucket across all replicas in fixed replica order, so the result is
+//    bitwise identical to the sequential mean -- with the allgather
+//    collapsing to shared-memory reads of the aggregated buffer.
+//  * reducer path (PowerSGD / SIGNUM / top-k / ATOMO payloads whose
+//    encodings do not sum): workers rendezvous, then worker 0 runs the
+//    `compress::Reducer` over all shards -- the identical code path the
+//    modeled cluster uses, so stateful reducers behave the same.
+//
+// The epoch report reuses `dist::EpochBreakdown`, but every field is
+// MEASURED wall-clock (compute = per-worker fwd+bwd average, comm = time in
+// rendezvous + reduction), so bench_fig4_distributed can print modeled and
+// measured columns side by side.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "core/trainer.h"
+#include "dist/cluster.h"
+#include "optim/optim.h"
+
+namespace pf::runtime {
+
+struct ShmClusterConfig {
+  int workers = 4;
+  // Ring-path bucket granularity in bytes (DDP-style gradient buckets).
+  int64_t bucket_bytes = 256 << 10;
+  dist::DistTrainConfig train;
+};
+
+class ShmDataParallelTrainer {
+ public:
+  // `make_model` is called once per worker with identically seeded Rngs, so
+  // all replicas start with the same weights. A null `reducer` (or an
+  // AllreduceReducer) selects the threaded ring path; any other reducer is
+  // run centralized on worker 0 over the shared arena.
+  ShmDataParallelTrainer(const core::VisionModelFactory& make_model,
+                         std::unique_ptr<compress::Reducer> reducer,
+                         const ShmClusterConfig& cfg);
+
+  dist::DistEpochRecord train_epoch(const data::SyntheticImages& ds,
+                                    int epoch);
+  std::vector<dist::DistEpochRecord> train(const data::SyntheticImages& ds);
+
+  // Canonical replica (worker 0); evaluation runs against it.
+  nn::UnaryModule& model() { return *replicas_[0]; }
+  int workers() const { return cfg_.workers; }
+  double cumulative_seconds() const { return wall_seconds_; }
+
+  // Per-worker RNG stream, derived from (train.seed, worker_id) via
+  // splitmix so concurrent workers never share a stream (seed hygiene for
+  // stochastic compressors and future per-worker augmentation).
+  Rng& worker_rng(int w) { return worker_rngs_[static_cast<size_t>(w)]; }
+
+ private:
+  ShmClusterConfig cfg_;
+  std::unique_ptr<compress::Reducer> reducer_;
+  bool ring_path_ = true;
+  std::vector<std::unique_ptr<nn::UnaryModule>> replicas_;
+  std::vector<std::unique_ptr<optim::SGD>> opts_;
+  std::vector<Rng> worker_rngs_;
+  std::vector<Shape> param_shapes_;
+  double wall_seconds_ = 0;
+};
+
+}  // namespace pf::runtime

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace pf {
 
 namespace {
@@ -12,6 +14,16 @@ void check(bool cond, const char* msg) {
 
 constexpr int64_t kBlockK = 128;
 constexpr int64_t kBlockN = 256;
+
+// Rows per parallel chunk: target ~256k multiply-adds per chunk so small
+// GEMMs stay on the calling thread, with a floor of 4 rows so a chunk
+// amortizes the blocked-loop setup. Row-parallel chunking is bitwise-safe:
+// every output row is produced by exactly one chunk with the same
+// per-element accumulation order as the serial kernel.
+int64_t row_grain(int64_t k, int64_t n) {
+  constexpr int64_t kTargetFlops = 1 << 18;
+  return std::max<int64_t>(4, kTargetFlops / std::max<int64_t>(1, k * n));
+}
 
 }  // namespace
 
@@ -42,7 +54,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check(a.size(1) == b.size(0), "matmul: inner dim mismatch");
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   Tensor c(Shape{m, n});
-  matmul_accum(a.data(), b.data(), c.data(), m, k, n);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  runtime::parallel_for(0, m, row_grain(k, n),
+                        [=](int64_t r0, int64_t r1) {
+                          matmul_accum(ad + r0 * k, bd, cd + r0 * n, r1 - r0,
+                                       k, n);
+                        });
   return c;
 }
 
@@ -55,17 +74,20 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* ad = a.data();
   const float* bd = b.data();
   // c[i,j] = sum_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads
-  // stream contiguously.
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = ad + kk * m;
-    const float* brow = bd + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = cd + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+  // stream contiguously. Parallel over output-row ranges: each chunk keeps
+  // the kk-ascending accumulation order of the serial kernel.
+  runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = ad + kk * m;
+      const float* brow = bd + kk * n;
+      for (int64_t i = r0; i < r1; ++i) {
+        const float aval = arow[i];
+        if (aval == 0.0f) continue;
+        float* crow = cd + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -79,53 +101,14 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* bd = b.data();
   // c[i,j] = dot(a_row_i, b_row_j): both rows contiguous. Four independent
   // float accumulators keep the loop vectorizable (a single double
-  // accumulator serializes the FMA chain and costs ~10x).
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ad + i * k;
-    float* crow = cd + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = bd + j * k;
-      float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-      int64_t kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        acc0 += arow[kk] * brow[kk];
-        acc1 += arow[kk + 1] * brow[kk + 1];
-        acc2 += arow[kk + 2] * brow[kk + 2];
-        acc3 += arow[kk + 3] * brow[kk + 3];
-      }
-      float acc = (acc0 + acc1) + (acc2 + acc3);
-      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
-  return c;
-}
-
-Tensor bmm(const Tensor& a, const Tensor& b) {
-  check(a.dim() == 3 && b.dim() == 3, "bmm: 3-D tensors required");
-  check(a.size(0) == b.size(0) && a.size(2) == b.size(1), "bmm: dim mismatch");
-  const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
-  Tensor c(Shape{bt, m, n});
-  for (int64_t i = 0; i < bt; ++i)
-    matmul_accum(a.data() + i * m * k, b.data() + i * k * n,
-                 c.data() + i * m * n, m, k, n);
-  return c;
-}
-
-Tensor bmm_nt(const Tensor& a, const Tensor& b) {
-  check(a.dim() == 3 && b.dim() == 3, "bmm_nt: 3-D tensors required");
-  check(a.size(0) == b.size(0) && a.size(2) == b.size(2),
-        "bmm_nt: dim mismatch");
-  const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(1);
-  Tensor c(Shape{bt, m, n});
-  for (int64_t i = 0; i < bt; ++i) {
-    const float* ad = a.data() + i * m * k;
-    const float* bd = b.data() + i * n * k;
-    float* cd = c.data() + i * m * n;
-    for (int64_t r = 0; r < m; ++r)
-      for (int64_t cc = 0; cc < n; ++cc) {
-        const float* arow = ad + r * k;
-        const float* brow = bd + cc * k;
+  // accumulator serializes the FMA chain and costs ~10x). Rows are fully
+  // independent, so the parallel split is trivially bitwise-stable.
+  runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = ad + i * k;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = bd + j * k;
         float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
         int64_t kk = 0;
         for (; kk + 4 <= k; kk += 4) {
@@ -136,9 +119,60 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
         }
         float acc = (acc0 + acc1) + (acc2 + acc3);
         for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        cd[r * n + cc] = acc;
+        crow[j] = acc;
       }
-  }
+    }
+  });
+  return c;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 3 && b.dim() == 3, "bmm: 3-D tensors required");
+  check(a.size(0) == b.size(0) && a.size(2) == b.size(1), "bmm: dim mismatch");
+  const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  Tensor c(Shape{bt, m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  runtime::parallel_for(0, bt, 1, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i)
+      matmul_accum(ad + i * m * k, bd + i * k * n, cd + i * m * n, m, k, n);
+  });
+  return c;
+}
+
+Tensor bmm_nt(const Tensor& a, const Tensor& b) {
+  check(a.dim() == 3 && b.dim() == 3, "bmm_nt: 3-D tensors required");
+  check(a.size(0) == b.size(0) && a.size(2) == b.size(2),
+        "bmm_nt: dim mismatch");
+  const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(1);
+  Tensor c(Shape{bt, m, n});
+  const float* abase = a.data();
+  const float* bbase = b.data();
+  float* cbase = c.data();
+  runtime::parallel_for(0, bt, 1, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* ad = abase + i * m * k;
+      const float* bd = bbase + i * n * k;
+      float* cd = cbase + i * m * n;
+      for (int64_t r = 0; r < m; ++r)
+        for (int64_t cc = 0; cc < n; ++cc) {
+          const float* arow = ad + r * k;
+          const float* brow = bd + cc * k;
+          float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+          int64_t kk = 0;
+          for (; kk + 4 <= k; kk += 4) {
+            acc0 += arow[kk] * brow[kk];
+            acc1 += arow[kk + 1] * brow[kk + 1];
+            acc2 += arow[kk + 2] * brow[kk + 2];
+            acc3 += arow[kk + 3] * brow[kk + 3];
+          }
+          float acc = (acc0 + acc1) + (acc2 + acc3);
+          for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          cd[r * n + cc] = acc;
+        }
+    }
+  });
   return c;
 }
 
@@ -148,21 +182,26 @@ Tensor bmm_tn(const Tensor& a, const Tensor& b) {
         "bmm_tn: dim mismatch");
   const int64_t bt = a.size(0), k = a.size(1), m = a.size(2), n = b.size(2);
   Tensor c(Shape{bt, m, n});
-  for (int64_t i = 0; i < bt; ++i) {
-    const float* ad = a.data() + i * k * m;
-    const float* bd = b.data() + i * k * n;
-    float* cd = c.data() + i * m * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float* arow = ad + kk * m;
-      const float* brow = bd + kk * n;
-      for (int64_t r = 0; r < m; ++r) {
-        const float aval = arow[r];
-        if (aval == 0.0f) continue;
-        float* crow = cd + r * n;
-        for (int64_t cc = 0; cc < n; ++cc) crow[cc] += aval * brow[cc];
+  const float* abase = a.data();
+  const float* bbase = b.data();
+  float* cbase = c.data();
+  runtime::parallel_for(0, bt, 1, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* ad = abase + i * k * m;
+      const float* bd = bbase + i * k * n;
+      float* cd = cbase + i * m * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = ad + kk * m;
+        const float* brow = bd + kk * n;
+        for (int64_t r = 0; r < m; ++r) {
+          const float aval = arow[r];
+          if (aval == 0.0f) continue;
+          float* crow = cd + r * n;
+          for (int64_t cc = 0; cc < n; ++cc) crow[cc] += aval * brow[cc];
+        }
       }
     }
-  }
+  });
   return c;
 }
 

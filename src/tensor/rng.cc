@@ -94,6 +94,17 @@ std::vector<int64_t> Rng::permutation(int64_t n) {
   return p;
 }
 
+Rng Rng::stream(uint64_t seed, uint64_t stream_id) {
+  // splitmix64 is a bijection on the counter sequence, so hashing the seed
+  // first and then folding in the (offset) stream id guarantees distinct
+  // (seed, id) pairs land on distinct internal states.
+  uint64_t x = seed;
+  const uint64_t a = splitmix64(x);
+  x = a ^ (stream_id + 0x9E3779B97F4A7C15ull);
+  const uint64_t b = splitmix64(x);
+  return Rng(b);
+}
+
 Rng Rng::split(uint64_t stream_id) const {
   // Hash the current state with the stream id to get an independent stream.
   uint64_t seed = s_[0] ^ (stream_id * 0xD1B54A32D192ED03ull) ^ s_[3];

@@ -39,6 +39,12 @@ class Rng {
   // Derive an independent stream (for per-worker / per-layer seeding).
   Rng split(uint64_t stream_id) const;
 
+  // Independent stream for (seed, stream_id) without an intermediate Rng:
+  // both words are pushed through splitmix64, so distinct worker ids map to
+  // distinct, decorrelated streams even for adjacent seeds. This is what
+  // the shm-cluster workers use (seed hygiene for concurrent workers).
+  static Rng stream(uint64_t seed, uint64_t stream_id);
+
  private:
   uint64_t s_[4];
   bool has_cached_ = false;
