@@ -4,9 +4,13 @@
 // tred2/tqli vs randomized), and compressor encode/decode throughput.
 #include <benchmark/benchmark.h>
 
+#include "autograd/ops.h"
 #include "compress/compressor.h"
 #include "linalg/svd.h"
+#include "metrics/metrics.h"
 #include "nn/layers.h"
+#include "optim/optim.h"
+#include "runtime/buffer_pool.h"
 #include "runtime/thread_pool.h"
 #include "tensor/matmul.h"
 
@@ -146,6 +150,90 @@ BENCHMARK(BM_EighJacobiVsTridiag)
     ->Args({128, 1})
     ->Args({256, 0})
     ->Args({256, 1});
+
+// ---- Allocation churn: full train steps with the pool off vs on. ----
+//
+// The tensor core allocates every tape temporary from runtime::BufferPool;
+// with pooling on, a steady-state train loop should recycle nearly all of
+// them (sys_allocs_per_step ~ 0 after warm-up). Arg(0) = pool disabled
+// (every acquire hits the system allocator), Arg(1) = pool enabled. The
+// counters make the before/after visible in the bench output itself;
+// EXPERIMENTS.md records the numbers.
+void churn_train_steps(benchmark::State& state, nn::UnaryModule& model,
+                       nn::Module& root, const Tensor& x,
+                       const std::vector<int64_t>& labels) {
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  const bool was_enabled = pool.enabled();
+  pool.set_enabled(state.range(0) == 1);
+  pool.clear();
+
+  optim::SGD sgd(root.parameters(), /*lr=*/0.01f, /*momentum=*/0.9f);
+  auto step = [&] {
+    root.zero_grad();
+    ag::Var loss = ag::cross_entropy(model.forward(ag::leaf(x)), labels);
+    ag::backward(loss);
+    sgd.step();
+  };
+  step();  // warm-up: populate pool buckets and optimizer state
+  pool.reset_stats();
+
+  int64_t steps = 0;
+  for (auto _ : state) {
+    step();
+    ++steps;
+  }
+  const auto s = metrics::alloc_stats();
+  state.counters["allocs_per_step"] =
+      benchmark::Counter(static_cast<double>(s.allocations) /
+                         static_cast<double>(steps > 0 ? steps : 1));
+  state.counters["sys_allocs_per_step"] =
+      benchmark::Counter(static_cast<double>(s.sys_allocs) /
+                         static_cast<double>(steps > 0 ? steps : 1));
+  state.counters["cow_per_step"] =
+      benchmark::Counter(static_cast<double>(s.cow_unshares) /
+                         static_cast<double>(steps > 0 ? steps : 1));
+  pool.set_enabled(was_enabled);
+  pool.clear();
+}
+
+// Small ResNet-style block: conv(16->16, 3x3) + BN + relu + skip, then
+// global-avgpool + linear head so the step has a real loss and optimizer.
+void BM_TrainStepChurnResNetBlock(benchmark::State& state) {
+  Rng rng(12);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  nn::BatchNorm2d bn(16);
+  nn::Linear head(16, 10, rng);
+  struct Block : nn::UnaryModule {
+    nn::Conv2d* conv = nullptr;
+    nn::BatchNorm2d* bn = nullptr;
+    nn::Linear* head = nullptr;
+    void init(nn::Conv2d* c, nn::BatchNorm2d* b, nn::Linear* h) {
+      conv = c;
+      bn = b;
+      head = h;
+      register_child(c);
+      register_child(b);
+      register_child(h);
+    }
+    std::string type_name() const override { return "ChurnBlock"; }
+    ag::Var forward(const ag::Var& x) override {
+      ag::Var y = ag::relu(ag::add(bn->forward(conv->forward(x)), x));
+      return head->forward(ag::global_avgpool(y));
+    }
+  };
+  Block block;
+  block.init(&conv, &bn, &head);
+
+  Tensor x = rng.randn(Shape{8, 16, 8, 8});
+  std::vector<int64_t> labels(8);
+  for (size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int64_t>(i) % 10;
+  churn_train_steps(state, block, block, x, labels);
+}
+BENCHMARK(BM_TrainStepChurnResNetBlock)
+    ->ArgNames({"pool"})
+    ->Arg(0)
+    ->Arg(1);
 
 // Compressor encode+decode throughput on a 1M-element gradient.
 template <typename MakeReducer>

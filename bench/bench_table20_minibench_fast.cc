@@ -47,18 +47,26 @@ int main() {
 
   metrics::Table t({"model", "fwd batch-64 time (s)", "speedup",
                     "paper speedup (speed-optimized)"});
+  std::vector<std::string> alloc_lines;
   double vanilla_mean = 0;
   for (size_t i = 0; i < rows.size(); ++i) {
     Rng data_rng(11);
     Tensor batch = data_rng.randn(Shape{64, 3, rows[i].hw, rows[i].hw});
     auto model = rows[i].factory(rng);
+    alloc_section_begin();
     const double secs = timed_forward(*model, batch, 3);
+    alloc_lines.push_back(
+        rows[i].name + ": " +
+        metrics::fmt_alloc_stats(metrics::alloc_stats()));
     if (i % 2 == 0) vanilla_mean = secs;
     t.add_row({rows[i].name, metrics::fmt(secs, 4),
                i % 2 == 1 ? metrics::fmt_ratio(vanilla_mean / secs) : "-",
                paper_speed[i]});
   }
   t.print();
+  std::printf("\nAlloc traffic per timed section (pool counters):\n");
+  for (const std::string& line : alloc_lines)
+    std::printf("[alloc] %s\n", line.c_str());
   std::printf(
       "\nOutcome note: the paper's narrowing (1.48x -> 1.16x on ResNet-18) "
       "comes from cuDNN's autotuner finding faster algorithms for the DENSE "

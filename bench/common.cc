@@ -101,6 +101,15 @@ void banner(const std::string& title, const std::string& paper_ref,
   std::printf("=====================================================\n\n");
 }
 
+void alloc_section_begin() {
+  metrics::reset_alloc_stats(/*clear_pool=*/true);
+}
+
+void alloc_section_end(const std::string& label) {
+  std::printf("[alloc] %s: %s\n", label.c_str(),
+              metrics::fmt_alloc_stats(metrics::alloc_stats()).c_str());
+}
+
 std::string cell(const std::vector<double>& values, int precision) {
   return metrics::fmt_mean_std(metrics::mean_std(values), precision);
 }

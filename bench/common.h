@@ -55,6 +55,13 @@ core::VisionTrainConfig imagenet_recipe(int epochs = 10, int warmup = 2,
 void banner(const std::string& title, const std::string& paper_ref,
             const std::string& substitution);
 
+// Allocation-traffic bracketing for a benchmark section. begin() clears the
+// buffer pool and zeroes its counters so sections can't subsidize each
+// other; end() prints one "[alloc] <label>: ..." line with the pool
+// hit/miss/COW counters accumulated since the matching begin().
+void alloc_section_begin();
+void alloc_section_end(const std::string& label);
+
 // "93.89 +- 0.14"-style cell from per-seed values.
 std::string cell(const std::vector<double>& values, int precision = 2);
 

@@ -83,14 +83,20 @@ Var relu(const Var& a) {
   return unary(
       a,
       [](const Tensor& x) {
-        Tensor o = x;
-        o.apply_([](float v) { return v > 0 ? v : 0.0f; });
+        Tensor o = Tensor::uninit(x.shape());
+        const float* xp = x.data();
+        float* op = o.data();
+        for (int64_t i = 0; i < x.numel(); ++i)
+          op[i] = xp[i] > 0 ? xp[i] : 0.0f;
         return o;
       },
       [](const Tensor& g, const Tensor& x, const Tensor&) {
-        Tensor dx = g;
-        for (int64_t i = 0; i < dx.numel(); ++i)
-          if (x[i] <= 0.0f) dx[i] = 0.0f;
+        Tensor dx = Tensor::uninit(g.shape());
+        const float* gp = g.data();
+        const float* xp = x.data();
+        float* dp = dx.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+          dp[i] = xp[i] <= 0.0f ? 0.0f : gp[i];
         return dx;
       });
 }
@@ -99,14 +105,20 @@ Var sigmoid(const Var& a) {
   return unary(
       a,
       [](const Tensor& x) {
-        Tensor o = x;
-        o.apply_([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+        Tensor o = Tensor::uninit(x.shape());
+        const float* xp = x.data();
+        float* op = o.data();
+        for (int64_t i = 0; i < x.numel(); ++i)
+          op[i] = 1.0f / (1.0f + std::exp(-xp[i]));
         return o;
       },
       [](const Tensor& g, const Tensor&, const Tensor& y) {
-        Tensor dx = g;
-        for (int64_t i = 0; i < dx.numel(); ++i)
-          dx[i] *= y[i] * (1.0f - y[i]);
+        Tensor dx = Tensor::uninit(g.shape());
+        const float* gp = g.data();
+        const float* yp = y.data();
+        float* dp = dx.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+          dp[i] = gp[i] * (yp[i] * (1.0f - yp[i]));
         return dx;
       });
 }
@@ -115,13 +127,19 @@ Var tanh(const Var& a) {
   return unary(
       a,
       [](const Tensor& x) {
-        Tensor o = x;
-        o.apply_([](float v) { return std::tanh(v); });
+        Tensor o = Tensor::uninit(x.shape());
+        const float* xp = x.data();
+        float* op = o.data();
+        for (int64_t i = 0; i < x.numel(); ++i) op[i] = std::tanh(xp[i]);
         return o;
       },
       [](const Tensor& g, const Tensor&, const Tensor& y) {
-        Tensor dx = g;
-        for (int64_t i = 0; i < dx.numel(); ++i) dx[i] *= 1.0f - y[i] * y[i];
+        Tensor dx = Tensor::uninit(g.shape());
+        const float* gp = g.data();
+        const float* yp = y.data();
+        float* dp = dx.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+          dp[i] = gp[i] * (1.0f - yp[i] * yp[i]);
         return dx;
       });
 }
@@ -189,8 +207,8 @@ Var sum_all(const Var& a) {
   Tensor out = Tensor::scalar(a->value.sum());
   return make_node(std::move(out), {a}, [](Node& n) {
     const Var& a = n.inputs[0];
-    if (a->requires_grad)
-      a->accumulate(Tensor(a->shape(), n.grad[0]));
+    const Tensor& g = n.grad;  // const read: no COW unshare
+    if (a->requires_grad) a->accumulate(Tensor(a->shape(), g[0]));
   });
 }
 
@@ -199,8 +217,8 @@ Var mean_all(const Var& a) {
   Tensor out = Tensor::scalar(a->value.sum() * inv);
   return make_node(std::move(out), {a}, [inv](Node& n) {
     const Var& a = n.inputs[0];
-    if (a->requires_grad)
-      a->accumulate(Tensor(a->shape(), n.grad[0] * inv));
+    const Tensor& g = n.grad;  // const read: no COW unshare
+    if (a->requires_grad) a->accumulate(Tensor(a->shape(), g[0] * inv));
   });
 }
 

@@ -4,6 +4,7 @@
 // one column buffer).
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "autograd/ops.h"
 #include "tensor/matmul.h"
@@ -30,20 +31,26 @@ Var conv2d(const Var& x, const Var& w, int64_t stride, int64_t pad) {
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t spatial = oh * ow, patch = g.patch();
 
-  Tensor out(Shape{n, c_out, oh, ow});
+  Tensor out(Shape{n, c_out, oh, ow});  // zero-filled: matmul_accum does +=
   // Weight viewed as (c_out, patch): PyTorch layout (c_out, c_in, k, k)
   // flattens to exactly that row-major 2-D view.
-  std::vector<float> col(static_cast<size_t>(patch * spatial));
+  const Tensor& xv = x->value;  // const reads: no COW unshare of shard views
+  const Tensor& wv = w->value;
+  Tensor col = Tensor::uninit(Shape{patch, spatial});
+  float* colp = col.data();
+  float* outp = out.data();
   for (int64_t i = 0; i < n; ++i) {
-    im2col(x->value.data() + i * c_in * h * wd, g, col.data());
-    matmul_accum(w->value.data(), col.data(),
-                 out.data() + i * c_out * spatial, c_out, patch, spatial);
+    im2col(xv.data() + i * c_in * h * wd, g, colp);
+    matmul_accum(wv.data(), colp, outp + i * c_out * spatial, c_out, patch,
+                 spatial);
   }
 
   return make_node(std::move(out), {x, w}, [g, stride, pad](Node& nd) {
     const Var& x = nd.inputs[0];
     const Var& w = nd.inputs[1];
-    const int64_t n = x->value.size(0);
+    const Tensor& xv = x->value;
+    const Tensor& gr = nd.grad;
+    const int64_t n = xv.size(0);
     const int64_t c_in = g.c_in, h = g.h, wd = g.w;
     const int64_t c_out = w->value.size(0);
     const int64_t oh = g.out_h(), ow = g.out_w();
@@ -53,29 +60,22 @@ Var conv2d(const Var& x, const Var& w, int64_t stride, int64_t pad) {
 
     Tensor dw(w->shape());
     Tensor dx(x->shape());
-    std::vector<float> col(static_cast<size_t>(patch * spatial));
-    std::vector<float> dcol(static_cast<size_t>(patch * spatial));
+    float* dxp = dx.data();
+    Tensor col = Tensor::uninit(Shape{patch, spatial});
     for (int64_t i = 0; i < n; ++i) {
-      const float* dy = nd.grad.data() + i * c_out * spatial;
+      // Per-sample dY as a zero-copy window of the incoming grad.
+      Tensor dy_t = gr.narrow(i, 1).reshape(Shape{c_out, spatial});
       if (w->requires_grad) {
-        im2col(x->value.data() + i * c_in * h * wd, g, col.data());
+        im2col(xv.data() + i * c_in * h * wd, g, col.data());
         // dW (c_out, patch) += dY (c_out, spatial) @ col^T (spatial, patch).
-        // Equivalent: for each row pair, dot over spatial. Use matmul_nt on
-        // 2-D views.
-        Tensor dy_t(Shape{c_out, spatial},
-                    std::vector<float>(dy, dy + c_out * spatial));
-        Tensor col_t(Shape{patch, spatial}, col);
-        Tensor dwi = pf::matmul_nt(dy_t, col_t);  // (c_out, patch)
+        Tensor dwi = pf::matmul_nt(dy_t, col);  // (c_out, patch)
         dw.add_(dwi.reshape(w->shape()));
       }
       if (x->requires_grad) {
         // dcol = W^T (patch, c_out) @ dY (c_out, spatial).
-        std::fill(dcol.begin(), dcol.end(), 0.0f);
         Tensor w2d = w->value.reshape(Shape{c_out, patch});
-        Tensor dy_t(Shape{c_out, spatial},
-                    std::vector<float>(dy, dy + c_out * spatial));
         Tensor dcol_t = pf::matmul_tn(w2d, dy_t);  // (patch, spatial)
-        col2im(dcol_t.data(), g, dx.data() + i * c_in * h * wd);
+        col2im(std::as_const(dcol_t).data(), g, dxp + i * c_in * h * wd);
       }
     }
     if (w->requires_grad) w->accumulate(dw);
@@ -92,7 +92,8 @@ Var maxpool2d(const Var& x, int64_t kernel, int64_t stride) {
   // Flat index of each selected max, for the backward scatter.
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(n * c * oh * ow));
-  const float* src = x->value.data();
+  const Tensor& xv = x->value;  // const read: no COW unshare
+  const float* src = xv.data();
   float* dst = out.data();
   int64_t oi = 0;
   for (int64_t i = 0; i < n; ++i)
@@ -121,8 +122,11 @@ Var maxpool2d(const Var& x, int64_t kernel, int64_t stride) {
     const Var& x = nd.inputs[0];
     if (!x->requires_grad) return;
     Tensor dx(x->shape());
-    for (int64_t i = 0; i < nd.grad.numel(); ++i)
-      dx[(*argmax)[static_cast<size_t>(i)]] += nd.grad[i];
+    float* dxp = dx.data();
+    const Tensor& gr = nd.grad;
+    const float* gp = gr.data();
+    for (int64_t i = 0; i < gr.numel(); ++i)
+      dxp[(*argmax)[static_cast<size_t>(i)]] += gp[i];
     x->accumulate(dx);
   });
 }
@@ -132,21 +136,27 @@ Var global_avgpool(const Var& x) {
   const int64_t n = x->value.size(0), c = x->value.size(1),
                 h = x->value.size(2), w = x->value.size(3);
   const int64_t hw = h * w;
-  Tensor out(Shape{n, c});
+  Tensor out = Tensor::uninit(Shape{n, c});
+  const Tensor& xv = x->value;  // const read: no COW unshare
+  const float* src = xv.data();
+  float* dst = out.data();
   for (int64_t i = 0; i < n * c; ++i) {
-    const float* plane = x->value.data() + i * hw;
+    const float* plane = src + i * hw;
     double acc = 0;
     for (int64_t j = 0; j < hw; ++j) acc += plane[j];
-    out[i] = static_cast<float>(acc / static_cast<double>(hw));
+    dst[i] = static_cast<float>(acc / static_cast<double>(hw));
   }
   return make_node(std::move(out), {x}, [hw](Node& nd) {
     const Var& x = nd.inputs[0];
     if (!x->requires_grad) return;
-    Tensor dx(x->shape());
+    Tensor dx = Tensor::uninit(x->shape());
+    float* dxp = dx.data();
+    const Tensor& gr = nd.grad;
+    const float* gp = gr.data();
     const float inv = 1.0f / static_cast<float>(hw);
-    for (int64_t i = 0; i < nd.grad.numel(); ++i) {
-      float* plane = dx.data() + i * hw;
-      const float g = nd.grad[i] * inv;
+    for (int64_t i = 0; i < gr.numel(); ++i) {
+      float* plane = dxp + i * hw;
+      const float g = gp[i] * inv;
       for (int64_t j = 0; j < hw; ++j) plane[j] = g;
     }
     x->accumulate(dx);
@@ -159,8 +169,9 @@ Var avgpool2d(const Var& x, int64_t kernel, int64_t stride) {
                 h = x->value.size(2), w = x->value.size(3);
   const int64_t oh = (h - kernel) / stride + 1, ow = (w - kernel) / stride + 1;
   const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  Tensor out(Shape{n, c, oh, ow});
-  const float* src = x->value.data();
+  Tensor out = Tensor::uninit(Shape{n, c, oh, ow});
+  const Tensor& xv = x->value;  // const read: no COW unshare
+  const float* src = xv.data();
   float* dst = out.data();
   int64_t oi = 0;
   for (int64_t i = 0; i < n * c; ++i) {
@@ -181,12 +192,15 @@ Var avgpool2d(const Var& x, int64_t kernel, int64_t stride) {
                   h = x->value.size(2), w = x->value.size(3);
     const int64_t oh = nd.value.size(2), ow = nd.value.size(3);
     Tensor dx(x->shape());
+    float* dxp = dx.data();
+    const Tensor& gr = nd.grad;
+    const float* gp = gr.data();
     int64_t oi = 0;
     for (int64_t i = 0; i < n * c; ++i) {
-      float* plane = dx.data() + i * h * w;
+      float* plane = dxp + i * h * w;
       for (int64_t oy = 0; oy < oh; ++oy)
         for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          const float g = nd.grad[oi] * inv;
+          const float g = gp[oi] * inv;
           for (int64_t ky = 0; ky < kernel; ++ky)
             for (int64_t kx = 0; kx < kernel; ++kx)
               plane[(oy * stride + ky) * w + ox * stride + kx] += g;

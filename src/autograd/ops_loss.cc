@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "autograd/ops.h"
 
@@ -37,17 +38,23 @@ void softmax_rows(const float* src, float* dst, int64_t rows, int64_t d) {
 Var softmax(const Var& a) {
   const int64_t d = a->value.size(-1);
   const int64_t rows = a->value.numel() / d;
-  Tensor out(a->shape());
-  softmax_rows(a->value.data(), out.data(), rows, d);
+  Tensor out = Tensor::uninit(a->shape());
+  const Tensor& av = a->value;  // const read: no COW unshare
+  softmax_rows(av.data(), out.data(), rows, d);
   return make_node(std::move(out), {a}, [rows, d](Node& n) {
     const Var& a = n.inputs[0];
     if (!a->requires_grad) return;
     // dx = y * (dy - sum_j(dy_j * y_j)) row-wise.
-    Tensor dx(a->shape());
+    Tensor dx = Tensor::uninit(a->shape());
+    const Tensor& yv = n.value;
+    const Tensor& gr = n.grad;
+    const float* yp = yv.data();
+    const float* gp = gr.data();
+    float* dxp = dx.data();
     for (int64_t r = 0; r < rows; ++r) {
-      const float* y = n.value.data() + r * d;
-      const float* dy = n.grad.data() + r * d;
-      float* dd = dx.data() + r * d;
+      const float* y = yp + r * d;
+      const float* dy = gp + r * d;
+      float* dd = dxp + r * d;
       double dot = 0;
       for (int64_t j = 0; j < d; ++j)
         dot += static_cast<double>(dy[j]) * y[j];
@@ -65,8 +72,9 @@ Var cross_entropy(const Var& logits, const std::vector<int64_t>& targets,
   check(static_cast<int64_t>(targets.size()) == n,
         "cross_entropy: target count");
 
-  auto probs = std::make_shared<Tensor>(Shape{n, c});
-  softmax_rows(logits->value.data(), probs->data(), n, c);
+  auto probs = std::make_shared<Tensor>(Tensor::uninit(Shape{n, c}));
+  const Tensor& lv = logits->value;  // const read: no COW unshare
+  softmax_rows(lv.data(), probs->data(), n, c);
 
   int64_t n_valid = 0;
   double loss = 0;
@@ -78,7 +86,7 @@ Var cross_entropy(const Var& logits, const std::vector<int64_t>& targets,
     if (t == ignore_index) continue;
     check(t >= 0 && t < c, "cross_entropy: target out of range");
     ++n_valid;
-    const float* p = probs->data() + i * c;
+    const float* p = std::as_const(*probs).data() + i * c;
     // loss_i = -sum_j q_j log p_j with q = smoothed one-hot.
     if (eps == 0.0f) {
       loss += -std::log(std::max(p[t], 1e-12f));
@@ -100,13 +108,16 @@ Var cross_entropy(const Var& logits, const std::vector<int64_t>& targets,
       [probs, tg, n, c, on, off, eps, ignore_index, n_valid](Node& nd) {
         const Var& logits = nd.inputs[0];
         if (!logits->requires_grad) return;
-        Tensor dx(Shape{n, c});
-        const float scale = nd.grad[0] / static_cast<float>(n_valid);
+        Tensor dx(Shape{n, c});  // zero-filled: ignored rows keep grad 0
+        const Tensor& gr = nd.grad;
+        const float scale = gr[0] / static_cast<float>(n_valid);
+        const float* pp = std::as_const(*probs).data();
+        float* dxp = dx.data();
         for (int64_t i = 0; i < n; ++i) {
           const int64_t t = (*tg)[static_cast<size_t>(i)];
           if (t == ignore_index) continue;
-          const float* p = probs->data() + i * c;
-          float* d = dx.data() + i * c;
+          const float* p = pp + i * c;
+          float* d = dxp + i * c;
           for (int64_t j = 0; j < c; ++j) {
             const float q = (eps == 0.0f) ? (j == t ? 1.0f : 0.0f)
                                           : (j == t ? on : off);

@@ -1,6 +1,7 @@
 // Dropout and embedding lookup.
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "autograd/ops.h"
 
@@ -10,18 +11,26 @@ Var dropout(const Var& x, float p, bool training, Rng& rng) {
   if (!training || p <= 0.0f) return x;
   if (p >= 1.0f) throw std::runtime_error("dropout: p must be < 1");
   const float scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<Tensor>(x->shape());
-  Tensor out(x->shape());
+  auto mask = std::make_shared<Tensor>(Tensor::uninit(x->shape()));
+  Tensor out = Tensor::uninit(x->shape());
+  const Tensor& xv = x->value;  // const read: no COW unshare
+  const float* xp = xv.data();
+  float* maskp = mask->data();
+  float* outp = out.data();
   for (int64_t i = 0; i < out.numel(); ++i) {
     const float m = rng.bernoulli(p) ? 0.0f : scale;
-    (*mask)[i] = m;
-    out[i] = x->value[i] * m;
+    maskp[i] = m;
+    outp[i] = xp[i] * m;
   }
   return make_node(std::move(out), {x}, [mask](Node& n) {
     const Var& x = n.inputs[0];
     if (!x->requires_grad) return;
-    Tensor dx(x->shape());
-    for (int64_t i = 0; i < dx.numel(); ++i) dx[i] = n.grad[i] * (*mask)[i];
+    Tensor dx = Tensor::uninit(x->shape());
+    const Tensor& gr = n.grad;
+    const float* gp = gr.data();
+    const float* maskp = std::as_const(*mask).data();
+    float* dxp = dx.data();
+    for (int64_t i = 0; i < dx.numel(); ++i) dxp[i] = gp[i] * maskp[i];
     x->accumulate(dx);
   });
 }
@@ -31,22 +40,28 @@ Var embedding(const std::vector<int64_t>& ids, const Var& table) {
     throw std::runtime_error("embedding: (V, D) table");
   const int64_t v = table->value.size(0), d = table->value.size(1);
   const int64_t len = static_cast<int64_t>(ids.size());
-  Tensor out(Shape{len, d});
+  Tensor out = Tensor::uninit(Shape{len, d});
+  const Tensor& tv = table->value;  // const read: no COW unshare
+  const float* tp = tv.data();
+  float* outp = out.data();
   for (int64_t i = 0; i < len; ++i) {
     const int64_t id = ids[static_cast<size_t>(i)];
     if (id < 0 || id >= v)
       throw std::runtime_error("embedding: id out of range");
-    const float* row = table->value.data() + id * d;
-    std::copy(row, row + d, out.data() + i * d);
+    const float* row = tp + id * d;
+    std::copy(row, row + d, outp + i * d);
   }
   auto idv = std::make_shared<std::vector<int64_t>>(ids);
   return make_node(std::move(out), {table}, [idv, d](Node& n) {
     const Var& table = n.inputs[0];
     if (!table->requires_grad) return;
-    Tensor dt(table->shape());
+    Tensor dt(table->shape());  // zero-filled: rows scatter-accumulate
+    const Tensor& gr = n.grad;
+    const float* gp = gr.data();
+    float* dtp = dt.data();
     for (size_t i = 0; i < idv->size(); ++i) {
-      const float* g = n.grad.data() + static_cast<int64_t>(i) * d;
-      float* row = dt.data() + (*idv)[i] * d;
+      const float* g = gp + static_cast<int64_t>(i) * d;
+      float* row = dtp + (*idv)[i] * d;
       for (int64_t j = 0; j < d; ++j) row[j] += g[j];
     }
     table->accumulate(dt);

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "autograd/ops.h"
 
@@ -30,20 +31,24 @@ Var batchnorm2d(const Var& x, const Var& gamma, const Var& beta,
   const int64_t hw = h * w;
   const int64_t m = n * hw;  // elements per channel
 
-  auto xhat = std::make_shared<Tensor>(x->shape());
-  auto inv_sigma = std::make_shared<Tensor>(Shape{c});
+  auto xhat = std::make_shared<Tensor>(Tensor::uninit(x->shape()));
+  auto inv_sigma = std::make_shared<Tensor>(Tensor::uninit(Shape{c}));
 
+  const Tensor& xv = x->value;  // const reads: no COW unshare of shard views
+  const float* xp = xv.data();
+  float* xhp = xhat->data();
+  float* isp = inv_sigma->data();
   if (training) {
     for (int64_t ch = 0; ch < c; ++ch) {
       double mu = 0;
       for (int64_t i = 0; i < n; ++i) {
-        const float* plane = x->value.data() + (i * c + ch) * hw;
+        const float* plane = xp + (i * c + ch) * hw;
         for (int64_t j = 0; j < hw; ++j) mu += plane[j];
       }
       mu /= static_cast<double>(m);
       double var = 0;
       for (int64_t i = 0; i < n; ++i) {
-        const float* plane = x->value.data() + (i * c + ch) * hw;
+        const float* plane = xp + (i * c + ch) * hw;
         for (int64_t j = 0; j < hw; ++j) {
           const double d = plane[j] - mu;
           var += d * d;
@@ -51,10 +56,10 @@ Var batchnorm2d(const Var& x, const Var& gamma, const Var& beta,
       }
       var /= static_cast<double>(m);
       const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-      (*inv_sigma)[ch] = is;
+      isp[ch] = is;
       for (int64_t i = 0; i < n; ++i) {
-        const float* plane = x->value.data() + (i * c + ch) * hw;
-        float* xh = xhat->data() + (i * c + ch) * hw;
+        const float* plane = xp + (i * c + ch) * hw;
+        float* xh = xhp + (i * c + ch) * hw;
         for (int64_t j = 0; j < hw; ++j)
           xh[j] = (plane[j] - static_cast<float>(mu)) * is;
       }
@@ -74,21 +79,24 @@ Var batchnorm2d(const Var& x, const Var& gamma, const Var& beta,
       const float mu = (*running_mean)[ch];
       const float is =
           1.0f / std::sqrt((*running_var)[ch] + eps);
-      (*inv_sigma)[ch] = is;
+      isp[ch] = is;
       for (int64_t i = 0; i < n; ++i) {
-        const float* plane = x->value.data() + (i * c + ch) * hw;
-        float* xh = xhat->data() + (i * c + ch) * hw;
+        const float* plane = xp + (i * c + ch) * hw;
+        float* xh = xhp + (i * c + ch) * hw;
         for (int64_t j = 0; j < hw; ++j) xh[j] = (plane[j] - mu) * is;
       }
     }
   }
 
-  Tensor out(x->shape());
+  Tensor out = Tensor::uninit(x->shape());
+  const Tensor& gv = gamma->value;
+  const Tensor& bv = beta->value;
+  float* outp = out.data();
   for (int64_t i = 0; i < n; ++i)
     for (int64_t ch = 0; ch < c; ++ch) {
-      const float g = gamma->value[ch], b = beta->value[ch];
-      const float* xh = xhat->data() + (i * c + ch) * hw;
-      float* o = out.data() + (i * c + ch) * hw;
+      const float g = gv[ch], b = bv[ch];
+      const float* xh = xhp + (i * c + ch) * hw;
+      float* o = outp + (i * c + ch) * hw;
       for (int64_t j = 0; j < hw; ++j) o[j] = g * xh[j] + b;
     }
 
@@ -98,34 +106,42 @@ Var batchnorm2d(const Var& x, const Var& gamma, const Var& beta,
         const Var& x = nd.inputs[0];
         const Var& gamma = nd.inputs[1];
         const Var& beta = nd.inputs[2];
-        Tensor dgamma(Shape{c});
-        Tensor dbeta(Shape{c});
+        const Tensor& gr = nd.grad;
+        const float* gp = gr.data();
+        const float* xhp = std::as_const(*xhat).data();
+        Tensor dgamma = Tensor::uninit(Shape{c});
+        Tensor dbeta = Tensor::uninit(Shape{c});
+        float* dgp = dgamma.data();
+        float* dbp = dbeta.data();
         for (int64_t ch = 0; ch < c; ++ch) {
           double dg = 0, db = 0;
           for (int64_t i = 0; i < n; ++i) {
-            const float* dy = nd.grad.data() + (i * c + ch) * hw;
-            const float* xh = xhat->data() + (i * c + ch) * hw;
+            const float* dy = gp + (i * c + ch) * hw;
+            const float* xh = xhp + (i * c + ch) * hw;
             for (int64_t j = 0; j < hw; ++j) {
               dg += static_cast<double>(dy[j]) * xh[j];
               db += dy[j];
             }
           }
-          dgamma[ch] = static_cast<float>(dg);
-          dbeta[ch] = static_cast<float>(db);
+          dgp[ch] = static_cast<float>(dg);
+          dbp[ch] = static_cast<float>(db);
         }
         if (gamma->requires_grad) gamma->accumulate(dgamma);
         if (beta->requires_grad) beta->accumulate(dbeta);
         if (!x->requires_grad) return;
-        Tensor dx(x->shape());
+        Tensor dx = Tensor::uninit(x->shape());
+        float* dxp = dx.data();
+        const Tensor& gv = gamma->value;
+        const float* isp = std::as_const(*inv_sigma).data();
         const float invm = 1.0f / static_cast<float>(m);
         for (int64_t ch = 0; ch < c; ++ch) {
-          const float gis = gamma->value[ch] * (*inv_sigma)[ch];
-          const float mean_dy = dbeta[ch] * invm;
-          const float mean_dyxh = dgamma[ch] * invm;
+          const float gis = gv[ch] * isp[ch];
+          const float mean_dy = dbp[ch] * invm;
+          const float mean_dyxh = dgp[ch] * invm;
           for (int64_t i = 0; i < n; ++i) {
-            const float* dy = nd.grad.data() + (i * c + ch) * hw;
-            const float* xh = xhat->data() + (i * c + ch) * hw;
-            float* d = dx.data() + (i * c + ch) * hw;
+            const float* dy = gp + (i * c + ch) * hw;
+            const float* xh = xhp + (i * c + ch) * hw;
+            float* d = dxp + (i * c + ch) * hw;
             if (training) {
               for (int64_t j = 0; j < hw; ++j)
                 d[j] = gis * (dy[j] - mean_dy - xh[j] * mean_dyxh);
@@ -145,14 +161,23 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
         "layernorm: gamma/beta size");
   const int64_t rows = x->value.numel() / d;
 
-  auto xhat = std::make_shared<Tensor>(x->shape());
-  auto inv_sigma = std::make_shared<Tensor>(Shape{rows});
+  auto xhat = std::make_shared<Tensor>(Tensor::uninit(x->shape()));
+  auto inv_sigma = std::make_shared<Tensor>(Tensor::uninit(Shape{rows}));
 
-  Tensor out(x->shape());
+  Tensor out = Tensor::uninit(x->shape());
+  const Tensor& xv = x->value;  // const reads: no COW unshare of shard views
+  const float* xp = xv.data();
+  const Tensor& gv = gamma->value;
+  const Tensor& bv = beta->value;
+  const float* gvp = gv.data();
+  const float* bvp = bv.data();
+  float* xhatp = xhat->data();
+  float* isp = inv_sigma->data();
+  float* outp = out.data();
   for (int64_t r = 0; r < rows; ++r) {
-    const float* row = x->value.data() + r * d;
-    float* xh = xhat->data() + r * d;
-    float* o = out.data() + r * d;
+    const float* row = xp + r * d;
+    float* xh = xhatp + r * d;
+    float* o = outp + r * d;
     double mu = 0;
     for (int64_t j = 0; j < d; ++j) mu += row[j];
     mu /= static_cast<double>(d);
@@ -163,10 +188,10 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
     }
     var /= static_cast<double>(d);
     const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-    (*inv_sigma)[r] = is;
+    isp[r] = is;
     for (int64_t j = 0; j < d; ++j) {
       xh[j] = (row[j] - static_cast<float>(mu)) * is;
-      o[j] = gamma->value[j] * xh[j] + beta->value[j];
+      o[j] = gvp[j] * xh[j] + bvp[j];
     }
   }
 
@@ -175,36 +200,45 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
         const Var& x = nd.inputs[0];
         const Var& gamma = nd.inputs[1];
         const Var& beta = nd.inputs[2];
+        const Tensor& gr = nd.grad;
+        const float* gp = gr.data();
+        const float* xhp = std::as_const(*xhat).data();
+        const Tensor& gv = gamma->value;
+        const float* gvp = gv.data();
         Tensor dgamma(Shape{d});
         Tensor dbeta(Shape{d});
+        float* dgp = dgamma.data();
+        float* dbp = dbeta.data();
         for (int64_t r = 0; r < rows; ++r) {
-          const float* dy = nd.grad.data() + r * d;
-          const float* xh = xhat->data() + r * d;
+          const float* dy = gp + r * d;
+          const float* xh = xhp + r * d;
           for (int64_t j = 0; j < d; ++j) {
-            dgamma[j] += dy[j] * xh[j];
-            dbeta[j] += dy[j];
+            dgp[j] += dy[j] * xh[j];
+            dbp[j] += dy[j];
           }
         }
         if (gamma->requires_grad) gamma->accumulate(dgamma);
         if (beta->requires_grad) beta->accumulate(dbeta);
         if (!x->requires_grad) return;
-        Tensor dx(x->shape());
+        Tensor dx = Tensor::uninit(x->shape());
+        float* dxp = dx.data();
+        const float* isp = std::as_const(*inv_sigma).data();
         const float invd = 1.0f / static_cast<float>(d);
         for (int64_t r = 0; r < rows; ++r) {
-          const float* dy = nd.grad.data() + r * d;
-          const float* xh = xhat->data() + r * d;
-          float* dd = dx.data() + r * d;
+          const float* dy = gp + r * d;
+          const float* xh = xhp + r * d;
+          float* dd = dxp + r * d;
           double mean_gdy = 0, mean_gdyxh = 0;
           for (int64_t j = 0; j < d; ++j) {
-            const double gdy = static_cast<double>(gamma->value[j]) * dy[j];
+            const double gdy = static_cast<double>(gvp[j]) * dy[j];
             mean_gdy += gdy;
             mean_gdyxh += gdy * xh[j];
           }
           mean_gdy *= invd;
           mean_gdyxh *= invd;
-          const float is = (*inv_sigma)[r];
+          const float is = isp[r];
           for (int64_t j = 0; j < d; ++j) {
-            const float gdy = gamma->value[j] * dy[j];
+            const float gdy = gvp[j] * dy[j];
             dd[j] = is * (gdy - static_cast<float>(mean_gdy) -
                           xh[j] * static_cast<float>(mean_gdyxh));
           }

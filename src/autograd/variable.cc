@@ -20,10 +20,13 @@ void Node::accumulate(const Tensor& g) {
                              shape_str(g.shape()) + " != value shape " +
                              shape_str(value.shape()));
   if (grad.empty()) {
-    grad = g;
+    grad = g;  // O(1): shares storage until someone writes
+  } else if (grad_stale_) {
+    grad.copy_from(g);  // reuse last step's buffer, bitwise same as grad = g
   } else {
     grad.add_(g);
   }
+  grad_stale_ = false;
 }
 
 Var leaf(Tensor value, bool requires_grad) {

@@ -29,10 +29,25 @@ class Node {
 
   // Adds `g` (same shape as value) into this node's grad.
   void accumulate(const Tensor& g);
-  bool has_grad() const { return !grad.empty(); }
-  void zero_grad() { grad = Tensor(); }
+  bool has_grad() const { return !grad.empty() && !grad_stale_; }
+  // Marks the grad as consumed without freeing it: the buffer (and its pool
+  // bucket) is kept, and the next accumulate() overwrites it in place, so
+  // steady-state training steps never re-allocate gradient storage.
+  void zero_grad() { grad_stale_ = !grad.empty(); }
+  // Overwrites grad with `src` (reusing capacity) and marks it fresh; used
+  // by the distributed executors to install aggregated gradients.
+  void set_grad_from(const Tensor& src) {
+    grad.copy_from(src);
+    grad_stale_ = false;
+  }
   const Shape& shape() const { return value.shape(); }
   int64_t numel() const { return value.numel(); }
+
+ private:
+  // True when grad holds last step's (already-consumed) values. Kept instead
+  // of zero-filling so reuse stays bitwise identical to a fresh `grad = g`
+  // (fill(0) + add_ would turn -0.0f into +0.0f).
+  bool grad_stale_ = false;
 };
 
 // Leaf variable (parameter or input).

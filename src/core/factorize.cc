@@ -34,10 +34,14 @@ FactorPair factorize_matrix(const Tensor& w, int64_t rank, Rng& rng) {
   FactorPair f;
   f.u = svd.u;  // (out, r)
   f.v = svd.v;  // (in, r)
+  const Tensor& s = svd.s;
+  float* up = f.u.data();  // unshares from svd.u/v once, not per element
+  float* vp = f.v.data();
+  const int64_t un = f.u.size(0), vn = f.v.size(0);
   for (int64_t j = 0; j < rank; ++j) {
-    const float rs = std::sqrt(std::max(0.0f, svd.s[j]));
-    for (int64_t i = 0; i < f.u.size(0); ++i) f.u[i * rank + j] *= rs;
-    for (int64_t i = 0; i < f.v.size(0); ++i) f.v[i * rank + j] *= rs;
+    const float rs = std::sqrt(std::max(0.0f, s[j]));
+    for (int64_t i = 0; i < un; ++i) up[i * rank + j] *= rs;
+    for (int64_t i = 0; i < vn; ++i) vp[i * rank + j] *= rs;
   }
   return f;
 }
@@ -66,28 +70,36 @@ void factorize_conv(const nn::Conv2d& src, nn::LowRankConv2d& dst, Rng& rng) {
   const int64_t r = dst.rank();
   // Unroll (c_out, c_in, k, k) -> (c_in*k*k, c_out): column j is the
   // vectorized j-th filter (paper Section 2.2).
-  Tensor unrolled(Shape{c_in * k * k, c_out});
+  Tensor unrolled = Tensor::uninit(Shape{c_in * k * k, c_out});
   const Tensor& w = src.weight->value;
+  const float* wp = w.data();
+  float* unp = unrolled.data();
   for (int64_t co = 0; co < c_out; ++co)
     for (int64_t ci = 0; ci < c_in; ++ci)
       for (int64_t ki = 0; ki < k; ++ki)
         for (int64_t kj = 0; kj < k; ++kj)
-          unrolled[((ci * k + ki) * k + kj) * c_out + co] =
-              w[((co * c_in + ci) * k + ki) * k + kj];
+          unp[((ci * k + ki) * k + kj) * c_out + co] =
+              wp[((co * c_in + ci) * k + ki) * k + kj];
 
   FactorPair f = factorize_matrix(unrolled, r, rng);  // u (cin k^2, r), v (c_out, r)
+  const Tensor& fu = f.u;
+  const Tensor& fv = f.v;
   // U reshapes to the thin convolution (r, c_in, k, k).
-  Tensor u4(Shape{r, c_in, k, k});
+  Tensor u4 = Tensor::uninit(Shape{r, c_in, k, k});
+  const float* fup = fu.data();
+  float* u4p = u4.data();
   for (int64_t rr = 0; rr < r; ++rr)
     for (int64_t ci = 0; ci < c_in; ++ci)
       for (int64_t ki = 0; ki < k; ++ki)
         for (int64_t kj = 0; kj < k; ++kj)
-          u4[((rr * c_in + ci) * k + ki) * k + kj] =
-              f.u[((ci * k + ki) * k + kj) * r + rr];
+          u4p[((rr * c_in + ci) * k + ki) * k + kj] =
+              fup[((ci * k + ki) * k + kj) * r + rr];
   // V^T becomes the 1x1 up-projection (c_out, r, 1, 1).
-  Tensor v4(Shape{c_out, r, 1, 1});
+  Tensor v4 = Tensor::uninit(Shape{c_out, r, 1, 1});
+  const float* fvp = fv.data();
+  float* v4p = v4.data();
   for (int64_t co = 0; co < c_out; ++co)
-    for (int64_t rr = 0; rr < r; ++rr) v4[co * r + rr] = f.v[co * r + rr];
+    for (int64_t rr = 0; rr < r; ++rr) v4p[co * r + rr] = fvp[co * r + rr];
 
   dst.u->value = std::move(u4);
   dst.v->value = std::move(v4);

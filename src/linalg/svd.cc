@@ -265,32 +265,39 @@ SvdResult gram_svd(const Tensor& a, int64_t rank) {
   EigResult eig = eigh(g);
 
   SvdResult out;
-  out.s = Tensor(Shape{rank});
+  out.s = Tensor::uninit(Shape{rank});
+  float* sp = out.s.data();
   std::vector<float> sigma(static_cast<size_t>(rank));
+  const Tensor& evals = eig.values;
   for (int64_t i = 0; i < rank; ++i) {
-    const float lam = std::max(0.0f, eig.values[i]);
+    const float lam = std::max(0.0f, evals[i]);
     sigma[static_cast<size_t>(i)] = std::sqrt(lam);
-    out.s[i] = sigma[static_cast<size_t>(i)];
+    sp[i] = sigma[static_cast<size_t>(i)];
   }
 
   // Right (or left) factor: leading eigenvectors.
-  Tensor small(Shape{tall ? n : m, rank});
+  Tensor small = Tensor::uninit(Shape{tall ? n : m, rank});
+  const Tensor& evecs = eig.vectors;
+  const float* evp = evecs.data();
+  float* smp = small.data();
   for (int64_t i = 0; i < small.size(0); ++i)
     for (int64_t j = 0; j < rank; ++j)
-      small[i * rank + j] = eig.vectors[i * (tall ? n : m) + j];
+      smp[i * rank + j] = evp[i * (tall ? n : m) + j];
 
   // Back-project the other factor: U = A V / sigma (tall) or V = A^T U / sigma.
   Tensor big = tall ? matmul(a, small) : matmul_tn(a, small);
+  float* bigp = big.data();
+  const int64_t brows = big.size(0);
   for (int64_t j = 0; j < rank; ++j) {
     const float s = sigma[static_cast<size_t>(j)];
     if (s > 1e-12f) {
       const float inv = 1.0f / s;
-      for (int64_t i = 0; i < big.size(0); ++i) big[i * rank + j] *= inv;
+      for (int64_t i = 0; i < brows; ++i) bigp[i * rank + j] *= inv;
     } else {
       // Null direction: emit a deterministic unit vector (contribution to the
       // reconstruction is zero anyway because sigma ~ 0).
-      for (int64_t i = 0; i < big.size(0); ++i)
-        big[i * rank + j] = (i == j % big.size(0)) ? 1.0f : 0.0f;
+      for (int64_t i = 0; i < brows; ++i)
+        bigp[i * rank + j] = (i == j % brows) ? 1.0f : 0.0f;
     }
   }
 
@@ -345,9 +352,11 @@ SvdResult truncated_svd(const Tensor& a, int64_t rank, Rng& rng) {
 
 Tensor svd_reconstruct(const SvdResult& r) {
   const int64_t rank = r.s.numel();
-  Tensor us = r.u;  // scale columns of U by s
+  Tensor us = r.u;        // scale columns of U by s
+  float* usp = us.data();  // unshares from r.u once, not per element
+  const float* sp = r.s.data();
   for (int64_t i = 0; i < us.size(0); ++i)
-    for (int64_t j = 0; j < rank; ++j) us[i * rank + j] *= r.s[j];
+    for (int64_t j = 0; j < rank; ++j) usp[i * rank + j] *= sp[j];
   return matmul_nt(us, r.v);
 }
 

@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "runtime/buffer_pool.h"
+
 namespace pf::metrics {
 
 double topk_accuracy(const Tensor& logits, const std::vector<int64_t>& labels,
@@ -162,6 +164,35 @@ void Table::print() const {
   }
   std::printf("\n");
   for (size_t r = 1; r < rows_.size(); ++r) print_row(rows_[r]);
+}
+
+AllocStats alloc_stats() {
+  const runtime::PoolStats p = runtime::BufferPool::instance().stats();
+  AllocStats s;
+  s.allocations = p.allocations();
+  s.pool_hits = p.hits;
+  s.sys_allocs = p.misses;
+  s.cow_unshares = p.cow_unshares;
+  s.bytes_live = p.bytes_live;
+  s.bytes_pooled = p.bytes_pooled;
+  return s;
+}
+
+void reset_alloc_stats(bool clear_pool) {
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  if (clear_pool) pool.clear();
+  pool.reset_stats();
+}
+
+std::string fmt_alloc_stats(const AllocStats& s) {
+  std::ostringstream os;
+  os << "allocs " << fmt_int(static_cast<int64_t>(s.allocations)) << " (hits "
+     << fmt_int(static_cast<int64_t>(s.pool_hits)) << " / sys "
+     << fmt_int(static_cast<int64_t>(s.sys_allocs)) << "), cow-unshares "
+     << fmt_int(static_cast<int64_t>(s.cow_unshares)) << ", live "
+     << fmt_bytes(static_cast<int64_t>(s.bytes_live)) << ", pooled "
+     << fmt_bytes(static_cast<int64_t>(s.bytes_pooled));
+  return os.str();
 }
 
 }  // namespace pf::metrics

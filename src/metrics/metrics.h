@@ -63,4 +63,22 @@ std::string fmt_int(int64_t v);       // thousands separators
 std::string fmt_bytes(int64_t bytes);
 std::string fmt_ratio(double v);      // "1.64x"
 
+// ---- Allocation/copy observability (runtime::BufferPool + Tensor COW). ----
+// Snapshot of the pool counters, re-exported here so benches and reports
+// depend on metrics only.
+struct AllocStats {
+  uint64_t allocations = 0;   // pool hits + system-allocator misses
+  uint64_t pool_hits = 0;     // served from a free list
+  uint64_t sys_allocs = 0;    // hit the system allocator
+  uint64_t cow_unshares = 0;  // copy-on-write copies actually taken
+  uint64_t bytes_live = 0;    // bytes currently handed out to tensors
+  uint64_t bytes_pooled = 0;  // bytes cached in free lists
+};
+AllocStats alloc_stats();
+// Zeroes the counters and (optionally) drops cached buffers, so benchmark
+// sections start from a clean slate and cannot subsidize each other.
+void reset_alloc_stats(bool clear_pool = false);
+// One-line human-readable form: "allocs 1,234 (hits 1,200 / sys 34) ...".
+std::string fmt_alloc_stats(const AllocStats& s);
+
 }  // namespace pf::metrics

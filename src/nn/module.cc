@@ -30,11 +30,12 @@ void Module::zero_grad() {
 }
 
 Tensor Module::flat_params() {
-  Tensor flat(Shape{num_params()});
+  Tensor flat = Tensor::uninit(Shape{num_params()});
+  float* fp = flat.data();
   int64_t off = 0;
   for (Param* p : parameters()) {
     const Tensor& v = p->var->value;
-    std::copy(v.data(), v.data() + v.numel(), flat.data() + off);
+    std::copy(v.data(), v.data() + v.numel(), fp + off);
     off += v.numel();
   }
   return flat;
@@ -52,12 +53,13 @@ void Module::set_flat_params(const Tensor& flat) {
 }
 
 Tensor Module::flat_grads() {
-  Tensor flat(Shape{num_params()});
+  Tensor flat(Shape{num_params()});  // zero-filled: grad-less params stay 0
+  float* fp = flat.data();
   int64_t off = 0;
   for (Param* p : parameters()) {
     if (p->var->has_grad()) {
       const Tensor& g = p->var->grad;
-      std::copy(g.data(), g.data() + g.numel(), flat.data() + off);
+      std::copy(g.data(), g.data() + g.numel(), fp + off);
     }
     off += p->var->numel();
   }
@@ -69,10 +71,12 @@ void Module::set_flat_grads(const Tensor& flat) {
     throw std::runtime_error("set_flat_grads: size mismatch");
   int64_t off = 0;
   for (Param* p : parameters()) {
-    Tensor g(p->var->value.shape());
-    std::copy(flat.data() + off, flat.data() + off + g.numel(), g.data());
-    p->var->grad = std::move(g);
-    off += p->var->numel();
+    const int64_t n = p->var->numel();
+    // Zero-copy window into `flat`; set_grad_from copies it into the node's
+    // existing grad buffer (never aliasing `flat`, which the shm ring path
+    // mutates concurrently across workers).
+    p->var->set_grad_from(flat.narrow(off, n).reshape(p->var->value.shape()));
+    off += n;
   }
 }
 

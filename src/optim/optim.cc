@@ -28,16 +28,18 @@ void SGD::step() {
     Tensor& w = p->var->value;
     const Tensor& g = p->var->grad;
     const float wd = p->no_decay ? 0.0f : weight_decay_;
+    const int64_t n = w.numel();
+    float* wp = w.data();  // unshare (COW) once, not per element
+    const float* gp = g.data();
     if (momentum_ != 0.0f) {
-      Tensor& vel = velocity_[i];
-      for (int64_t j = 0; j < w.numel(); ++j) {
-        const float grad = g[j] + wd * w[j];
-        vel[j] = momentum_ * vel[j] + grad;
-        w[j] -= lr_ * vel[j];
+      float* vp = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = gp[j] + wd * wp[j];
+        vp[j] = momentum_ * vp[j] + grad;
+        wp[j] -= lr_ * vp[j];
       }
     } else {
-      for (int64_t j = 0; j < w.numel(); ++j)
-        w[j] -= lr_ * (g[j] + wd * w[j]);
+      for (int64_t j = 0; j < n; ++j) wp[j] -= lr_ * (gp[j] + wd * wp[j]);
     }
   }
 }
@@ -68,15 +70,18 @@ void Adam::step() {
     Tensor& w = p->var->value;
     const Tensor& g = p->var->grad;
     const float wd = p->no_decay ? 0.0f : weight_decay_;
-    Tensor& m = m_[i];
-    Tensor& v = v_[i];
-    for (int64_t j = 0; j < w.numel(); ++j) {
-      const float grad = g[j] + wd * w[j];
-      m[j] = beta1_ * m[j] + (1 - beta1_) * grad;
-      v[j] = beta2_ * v[j] + (1 - beta2_) * grad * grad;
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    const int64_t n = w.numel();
+    float* wp = w.data();  // unshare (COW) once, not per element
+    const float* gp = g.data();
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = gp[j] + wd * wp[j];
+      mp[j] = beta1_ * mp[j] + (1 - beta1_) * grad;
+      vp[j] = beta2_ * vp[j] + (1 - beta2_) * grad * grad;
+      const float mhat = mp[j] / bc1;
+      const float vhat = vp[j] / bc2;
+      wp[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
 }
@@ -86,8 +91,9 @@ float clip_grad_norm(const std::vector<nn::Param*>& params, float max_norm) {
   for (nn::Param* p : params) {
     if (!p->var->has_grad()) continue;
     const Tensor& g = p->var->grad;
+    const float* gp = g.data();
     for (int64_t j = 0; j < g.numel(); ++j)
-      total += static_cast<double>(g[j]) * g[j];
+      total += static_cast<double>(gp[j]) * gp[j];
   }
   const float norm = static_cast<float>(std::sqrt(total));
   if (norm > max_norm && norm > 0) {

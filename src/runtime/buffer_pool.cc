@@ -1,0 +1,155 @@
+#include "runtime/buffer_pool.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace pf::runtime {
+
+namespace {
+
+// Smallest bucket: 32 floats (128 B). Anything smaller still gets a 32-float
+// buffer; the waste is bounded and tiny tensors (biases, BN vectors) are the
+// ones that churn the most.
+constexpr int64_t kMinBucket = 32;
+// Buffers above this size are never cached: one 2 GiB activation must not
+// pin 2 GiB of freed memory. They are still counted as misses/releases.
+constexpr int64_t kMaxCachedBytes = int64_t{1} << 28;  // 256 MiB
+// Total cached bytes cap; past it, released buffers are freed not cached.
+constexpr int64_t kMaxPoolBytes = int64_t{1} << 30;  // 1 GiB
+
+int bucket_index(int64_t numel) {
+  const uint64_t n =
+      static_cast<uint64_t>(numel < kMinBucket ? kMinBucket : numel);
+  return std::bit_width(n - 1);  // ceil(log2(n))
+}
+
+int64_t bucket_capacity(int index) { return int64_t{1} << index; }
+
+}  // namespace
+
+struct BufferPool::Impl {
+  std::mutex mu;
+  std::vector<std::vector<float*>> free_lists;  // by bucket index
+  std::atomic<bool> enabled{true};
+  std::atomic<uint64_t> hits{0}, misses{0}, releases{0}, cow{0};
+  std::atomic<uint64_t> bytes_live{0}, bytes_pooled{0};
+};
+
+BufferPool::BufferPool() : impl_(new Impl) {
+  impl_->free_lists.resize(48);
+  const char* env = std::getenv("PF_POOL_DISABLE");
+  if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+    impl_->enabled.store(false, std::memory_order_relaxed);
+}
+
+BufferPool::~BufferPool() {
+  clear();
+  delete impl_;
+}
+
+BufferPool& BufferPool::instance() {
+  // Leaked on purpose: tensors with static storage duration (test fixtures,
+  // globals) may release into the pool after main() returns.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+float* BufferPool::acquire(int64_t numel, int64_t* capacity) {
+  if (numel <= 0) {
+    *capacity = 0;
+    return nullptr;
+  }
+  if (!impl_->enabled.load(std::memory_order_relaxed)) {
+    *capacity = numel;
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    impl_->bytes_live.fetch_add(static_cast<uint64_t>(numel) * sizeof(float),
+                                std::memory_order_relaxed);
+    return new float[static_cast<size_t>(numel)];
+  }
+  const int idx = bucket_index(numel);
+  const int64_t cap = bucket_capacity(idx);
+  *capacity = cap;
+  const uint64_t bytes = static_cast<uint64_t>(cap) * sizeof(float);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto& list = impl_->free_lists[static_cast<size_t>(idx)];
+    if (!list.empty()) {
+      float* p = list.back();
+      list.pop_back();
+      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      impl_->bytes_pooled.fetch_sub(bytes, std::memory_order_relaxed);
+      impl_->bytes_live.fetch_add(bytes, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  impl_->bytes_live.fetch_add(bytes, std::memory_order_relaxed);
+  return new float[static_cast<size_t>(cap)];
+}
+
+void BufferPool::release(float* p, int64_t capacity) {
+  if (!p) return;
+  const uint64_t bytes = static_cast<uint64_t>(capacity) * sizeof(float);
+  impl_->releases.fetch_add(1, std::memory_order_relaxed);
+  impl_->bytes_live.fetch_sub(bytes, std::memory_order_relaxed);
+  if (impl_->enabled.load(std::memory_order_relaxed) &&
+      bytes <= static_cast<uint64_t>(kMaxCachedBytes) &&
+      impl_->bytes_pooled.load(std::memory_order_relaxed) + bytes <=
+          static_cast<uint64_t>(kMaxPoolBytes)) {
+    // Pooled buffers always have power-of-two capacity; a buffer acquired
+    // while pooling was disabled has exact capacity and must not be cached
+    // under the wrong bucket.
+    if ((capacity & (capacity - 1)) == 0 && capacity >= kMinBucket) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->free_lists[static_cast<size_t>(bucket_index(capacity))].push_back(
+          p);
+      impl_->bytes_pooled.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+  }
+  delete[] p;
+}
+
+void BufferPool::clear() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (auto& list : impl_->free_lists) {
+    for (float* p : list) delete[] p;
+    list.clear();
+  }
+  impl_->bytes_pooled.store(0, std::memory_order_relaxed);
+}
+
+PoolStats BufferPool::stats() const {
+  PoolStats s;
+  s.hits = impl_->hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses.load(std::memory_order_relaxed);
+  s.releases = impl_->releases.load(std::memory_order_relaxed);
+  s.cow_unshares = impl_->cow.load(std::memory_order_relaxed);
+  s.bytes_live = impl_->bytes_live.load(std::memory_order_relaxed);
+  s.bytes_pooled = impl_->bytes_pooled.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::reset_stats() {
+  impl_->hits.store(0, std::memory_order_relaxed);
+  impl_->misses.store(0, std::memory_order_relaxed);
+  impl_->releases.store(0, std::memory_order_relaxed);
+  impl_->cow.store(0, std::memory_order_relaxed);
+}
+
+bool BufferPool::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void BufferPool::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+void BufferPool::note_cow_unshare() {
+  impl_->cow.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pf::runtime

@@ -1,0 +1,74 @@
+// Size-bucketed, thread-safe free-list allocator backing `pf::Tensor`
+// storage.
+//
+// Training steps allocate thousands of short-lived buffers (tape
+// temporaries, gradients, im2col scratch); hitting the system allocator for
+// each one dominates the non-GEMM cost once the kernels are parallel. The
+// pool rounds requests up to the next power-of-two bucket and recycles
+// returned buffers, so a steady-state train loop allocates from the OS only
+// on the first step. Buckets are shared by every thread (one mutex -- the
+// critical section is a vector push/pop, far cheaper than malloc), and all
+// counters are relaxed atomics so stats cost nothing on the hot path.
+//
+// Observability: `stats()` exposes hit/miss/bytes counters plus the
+// copy-on-write unshare count (incremented by Tensor when a shared buffer
+// is actually copied), surfaced through src/metrics and printed by the
+// benches. `clear()` drops cached buffers between benchmark sections so one
+// section's working set cannot subsidize the next.
+//
+// Escape hatch: setting the PF_POOL_DISABLE environment variable (to
+// anything but "0") routes every request straight to new[]/delete[], which
+// keeps ASan/valgrind precise when debugging aliasing bugs. Tests can also
+// toggle `set_enabled()` programmatically.
+#pragma once
+
+#include <cstdint>
+
+namespace pf::runtime {
+
+struct PoolStats {
+  uint64_t hits = 0;          // acquisitions served from a free list
+  uint64_t misses = 0;        // acquisitions that hit the system allocator
+  uint64_t releases = 0;      // buffers returned (cached or freed)
+  uint64_t cow_unshares = 0;  // Tensor copy-on-write copies actually taken
+  uint64_t bytes_live = 0;    // bytes currently handed out to tensors
+  uint64_t bytes_pooled = 0;  // bytes currently cached in free lists
+  uint64_t allocations() const { return hits + misses; }
+};
+
+class BufferPool {
+ public:
+  // Global pool instance; safe to call from any thread.
+  static BufferPool& instance();
+
+  // Returns a buffer of at least `numel` floats; `*capacity` receives the
+  // actual bucket capacity (pass it back to release()). numel == 0 returns
+  // nullptr with capacity 0.
+  float* acquire(int64_t numel, int64_t* capacity);
+  void release(float* p, int64_t capacity);
+
+  // Frees every cached buffer (bytes_pooled -> 0). Live buffers are
+  // untouched; they re-enter the free lists as they are released.
+  void clear();
+
+  PoolStats stats() const;
+  // Zeroes the counters (bytes_live/bytes_pooled are gauges and are kept).
+  void reset_stats();
+
+  // Pooling on/off. Off = straight new[]/delete[], every acquire a miss.
+  // The PF_POOL_DISABLE environment variable sets the initial value.
+  bool enabled() const;
+  void set_enabled(bool on);
+
+  // Called by Tensor when a copy-on-write access actually copies.
+  void note_cow_unshare();
+
+  ~BufferPool();
+
+ private:
+  BufferPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace pf::runtime

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <numeric>
 #include <thread>
+#include <utility>
 
 #include "metrics/metrics.h"
 
@@ -83,6 +84,11 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   // all cross-worker reads are separated from the writes by a rendezvous.
   std::vector<Tensor> arena(static_cast<size_t>(workers));
   Tensor agg(Shape{total_params});
+  // Ring path: every worker writes its own disjoint segment of `agg`.
+  // Hoist the pointer once, before the threads spawn -- concurrent mutable
+  // data() calls on one shared Tensor handle would race in the COW check.
+  // (`agg` is only reassigned on the reducer path, by worker 0 alone.)
+  float* const agg_ring = ring_path_ ? agg.data() : nullptr;
   std::vector<double> losses(static_cast<size_t>(workers), 0.0);
   std::vector<double> compute_acc(static_cast<size_t>(workers), 0.0);
   std::vector<double> comm_acc(static_cast<size_t>(workers), 0.0);
@@ -93,6 +99,9 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   Barrier barrier(workers);
 
   auto worker_fn = [&](int w) {
+    // Per-step snapshot of every replica's flat-grad pointer (const reads:
+    // the Tensor handles themselves are written only by their owner).
+    std::vector<const float*> grad_p(static_cast<size_t>(workers), nullptr);
     for (const data::ImageBatch& gb : batches) {
       const int64_t bsz = gb.images.size(0);
       const int n_active = static_cast<int>(
@@ -111,7 +120,8 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
         ag::Var loss = ag::cross_entropy(logits, labels, tc.label_smoothing);
         ag::backward(loss);
         arena[static_cast<size_t>(w)] = m.flat_grads();
-        losses[static_cast<size_t>(w)] = loss->value[0];
+        const Tensor& lv = loss->value;
+        losses[static_cast<size_t>(w)] = lv[0];
       }
       compute_acc[static_cast<size_t>(w)] += t_compute.seconds();
 
@@ -127,6 +137,10 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
         const float inv = 1.0f / static_cast<float>(n_active);
         for (int64_t k = n_buckets - 1; k >= 0; --k) {
           barrier.wait();
+          if (k == n_buckets - 1)  // first rendezvous published all arenas
+            for (int j = 0; j < n_active; ++j)
+              grad_p[static_cast<size_t>(j)] =
+                  std::as_const(arena[static_cast<size_t>(j)]).data();
           const int64_t b0 = k * bucket_elems;
           const int64_t b1 = std::min(b0 + bucket_elems, total_params);
           const int64_t seg = (b1 - b0 + n_active - 1) / n_active;
@@ -134,10 +148,10 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
             const int64_t s0 = b0 + w * seg;
             const int64_t s1 = std::min(s0 + seg, b1);
             for (int64_t i = s0; i < s1; ++i) {
-              float acc = arena[0][i];
+              float acc = grad_p[0][i];
               for (int j = 1; j < n_active; ++j)
-                acc += arena[static_cast<size_t>(j)][i];
-              agg[i] = acc * inv;
+                acc += grad_p[static_cast<size_t>(j)][i];
+              agg_ring[i] = acc * inv;
             }
           }
         }

@@ -71,16 +71,18 @@ int64_t Rng::uniform_int(int64_t n) {
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Tensor Rng::rand(Shape shape, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Tensor::uninit(std::move(shape));
+  float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i)
-    t[i] = static_cast<float>(uniform(lo, hi));
+    p[i] = static_cast<float>(uniform(lo, hi));
   return t;
 }
 
 Tensor Rng::randn(Shape shape, float mean, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Tensor::uninit(std::move(shape));
+  float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i)
-    t[i] = static_cast<float>(normal(mean, stddev));
+    p[i] = static_cast<float>(normal(mean, stddev));
   return t;
 }
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+
+#include "runtime/buffer_pool.h"
 
 namespace pf {
 
@@ -29,6 +33,21 @@ std::vector<int64_t> strides_of(const Shape& shape) {
 
 }  // namespace
 
+namespace detail {
+
+Storage::~Storage() {
+  runtime::BufferPool::instance().release(data, capacity);
+}
+
+std::shared_ptr<Storage> alloc_storage(int64_t numel) {
+  if (numel <= 0) return nullptr;
+  int64_t cap = 0;
+  float* p = runtime::BufferPool::instance().acquire(numel, &cap);
+  return std::make_shared<Storage>(p, cap);
+}
+
+}  // namespace detail
+
 int64_t shape_numel(const Shape& shape) {
   int64_t n = 1;
   for (int64_t d : shape) n *= d;
@@ -46,29 +65,56 @@ std::string shape_str(const Shape& shape) {
   return os.str();
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), 0.0f) {}
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  numel_ = shape_numel(shape_);
+  storage_ = detail::alloc_storage(numel_);
+  if (storage_) std::memset(storage_->data, 0, static_cast<size_t>(numel_) * sizeof(float));
+}
 
-Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  numel_ = shape_numel(shape_);
+  storage_ = detail::alloc_storage(numel_);
+  if (storage_) std::fill_n(storage_->data, numel_, fill);
+}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
-  check(static_cast<int64_t>(data_.size()) == shape_numel(shape_),
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
+  check(static_cast<int64_t>(data.size()) == shape_numel(shape_),
         "Tensor: data size does not match shape " + shape_str(shape_));
+  numel_ = static_cast<int64_t>(data.size());
+  storage_ = detail::alloc_storage(numel_);
+  if (storage_)
+    std::memcpy(storage_->data, data.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+}
+
+Tensor Tensor::uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  t.storage_ = detail::alloc_storage(t.numel_);
+  return t;
 }
 
 Tensor Tensor::arange(int64_t n) {
-  Tensor t(Shape{n});
-  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  Tensor t = uninit(Shape{n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::from_vector(std::vector<float> v) {
   const int64_t n = static_cast<int64_t>(v.size());
   return Tensor(Shape{n}, std::move(v));
+}
+
+void Tensor::unshare() {
+  auto fresh = detail::alloc_storage(numel_);
+  if (fresh)
+    std::memcpy(fresh->data, storage_->data + offset_,
+                static_cast<size_t>(numel_) * sizeof(float));
+  storage_ = std::move(fresh);
+  offset_ = 0;
+  runtime::BufferPool::instance().note_cow_unshare();
 }
 
 int64_t Tensor::size(int64_t d) const {
@@ -82,7 +128,7 @@ float& Tensor::at(std::initializer_list<int64_t> idx) {
   int64_t off = 0;
   size_t k = 0;
   for (int64_t i : idx) off += i * s[k++];
-  return data_[static_cast<size_t>(off)];
+  return (*this)[off];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
@@ -107,9 +153,37 @@ Tensor Tensor::reshape(Shape new_shape) const {
   check(shape_numel(new_shape) == numel(),
         "reshape: numel mismatch " + shape_str(shape_) + " -> " +
             shape_str(new_shape));
+  // Zero-copy: every Tensor is a contiguous window, so a renumbering of the
+  // same elements aliases the same storage.
   Tensor out;
   out.shape_ = std::move(new_shape);
-  out.data_ = data_;
+  out.storage_ = storage_;
+  out.offset_ = offset_;
+  out.numel_ = numel_;
+  return out;
+}
+
+Tensor Tensor::flatten() const { return reshape(Shape{numel()}); }
+
+Tensor Tensor::squeeze() const {
+  Shape s;
+  for (int64_t d : shape_)
+    if (d != 1) s.push_back(d);
+  return reshape(std::move(s));
+}
+
+Tensor Tensor::narrow(int64_t start, int64_t len) const {
+  check(dim() >= 1, "narrow: rank-0 tensor");
+  check(start >= 0 && len >= 0 && start + len <= shape_[0],
+        "narrow: out of range");
+  const int64_t row = shape_[0] == 0 ? 0 : numel_ / shape_[0];
+  Tensor out;
+  out.shape_ = shape_;
+  out.shape_[0] = len;
+  out.numel_ = len * row;
+  out.offset_ = offset_ + start * row;
+  out.storage_ = out.numel_ > 0 ? storage_ : nullptr;
+  if (out.numel_ == 0) out.offset_ = 0;
   return out;
 }
 
@@ -119,19 +193,21 @@ Tensor Tensor::transpose(const std::vector<int64_t>& perm) const {
   Shape new_shape(perm.size());
   for (size_t i = 0; i < perm.size(); ++i)
     new_shape[i] = shape_[static_cast<size_t>(perm[i])];
-  Tensor out(new_shape);
+  Tensor out = uninit(new_shape);
   const auto in_strides = strides_of(shape_);
   const auto out_strides = strides_of(new_shape);
   const int64_t n = numel();
   const int64_t nd = dim();
+  const float* src = data();
+  float* dst = out.data();
   std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
   for (int64_t flat = 0; flat < n; ++flat) {
     // idx holds the multi-index in the *output* layout.
-    int64_t src = 0;
+    int64_t s = 0;
     for (int64_t d = 0; d < nd; ++d)
-      src += idx[static_cast<size_t>(d)] *
-             in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
-    out.data_[static_cast<size_t>(flat)] = data_[static_cast<size_t>(src)];
+      s += idx[static_cast<size_t>(d)] *
+           in_strides[static_cast<size_t>(perm[static_cast<size_t>(d)])];
+    dst[flat] = src[s];
     // Increment multi-index.
     for (int64_t d = nd - 1; d >= 0; --d) {
       if (++idx[static_cast<size_t>(d)] < new_shape[static_cast<size_t>(d)])
@@ -145,16 +221,23 @@ Tensor Tensor::transpose(const std::vector<int64_t>& perm) const {
 Tensor Tensor::t() const {
   check(dim() == 2, "t(): tensor must be 2-D");
   const int64_t r = shape_[0], c = shape_[1];
-  Tensor out(Shape{c, r});
+  Tensor out = uninit(Shape{c, r});
+  const float* src = data();
+  float* dst = out.data();
   for (int64_t i = 0; i < r; ++i)
-    for (int64_t j = 0; j < c; ++j)
-      out.data_[static_cast<size_t>(j * r + i)] =
-          data_[static_cast<size_t>(i * c + j)];
+    for (int64_t j = 0; j < c; ++j) dst[j * r + i] = src[i * c + j];
   return out;
 }
 
 Tensor& Tensor::fill(float v) {
-  std::fill(data_.begin(), data_.end(), v);
+  if (empty()) return *this;
+  // Every element is overwritten, so a shared buffer can be replaced by a
+  // fresh one without copying the old contents.
+  if (storage_ && storage_.use_count() > 1) {
+    storage_ = detail::alloc_storage(numel_);
+    offset_ = 0;
+  }
+  std::fill_n(storage_->data + offset_, numel_, v);
   return *this;
 }
 
@@ -162,57 +245,83 @@ Tensor& Tensor::add_(const Tensor& other, float alpha) {
   check(same_shape(other), "add_: shape mismatch " + shape_str(shape_) +
                                " vs " + shape_str(other.shape_));
   const float* src = other.data();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * src[i];
+  float* dst = data();  // COW before the loop, not per element
+  for (int64_t i = 0; i < numel_; ++i) dst[i] += alpha * src[i];
   return *this;
 }
 
 Tensor& Tensor::mul_(float s) {
-  for (float& v : data_) v *= s;
+  float* dst = data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] *= s;
   return *this;
 }
 
 Tensor& Tensor::apply_(const std::function<float(float)>& f) {
-  for (float& v : data_) v = f(v);
+  float* dst = data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] = f(dst[i]);
+  return *this;
+}
+
+Tensor& Tensor::copy_from(const Tensor& src) {
+  if (this == &src) return *this;
+  if (src.empty()) {
+    *this = src;
+    return *this;
+  }
+  if (!storage_ || storage_.use_count() > 1 || numel_ != src.numel_) {
+    storage_ = detail::alloc_storage(src.numel_);
+    offset_ = 0;
+    numel_ = src.numel_;
+  }
+  shape_ = src.shape_;
+  std::memcpy(storage_->data + offset_, src.data(),
+              static_cast<size_t>(numel_) * sizeof(float));
   return *this;
 }
 
 float Tensor::sum() const {
+  const float* p = data();
   double acc = 0;
-  for (float v : data_) acc += v;
+  for (int64_t i = 0; i < numel_; ++i) acc += p[i];
   return static_cast<float>(acc);
 }
 
 float Tensor::mean() const {
-  check(!data_.empty(), "mean of empty tensor");
-  return sum() / static_cast<float>(data_.size());
+  check(!empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(numel_);
 }
 
 float Tensor::min() const {
-  check(!data_.empty(), "min of empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  check(!empty(), "min of empty tensor");
+  const float* p = data();
+  return *std::min_element(p, p + numel_);
 }
 
 float Tensor::max() const {
-  check(!data_.empty(), "max of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  check(!empty(), "max of empty tensor");
+  const float* p = data();
+  return *std::max_element(p, p + numel_);
 }
 
 float Tensor::abs_max() const {
+  const float* p = data();
   float m = 0;
-  for (float v : data_) m = std::max(m, std::fabs(v));
+  for (int64_t i = 0; i < numel_; ++i) m = std::max(m, std::fabs(p[i]));
   return m;
 }
 
 float Tensor::norm() const {
+  const float* p = data();
   double acc = 0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  for (int64_t i = 0; i < numel_; ++i)
+    acc += static_cast<double>(p[i]) * p[i];
   return static_cast<float>(std::sqrt(acc));
 }
 
 int64_t Tensor::argmax() const {
-  check(!data_.empty(), "argmax of empty tensor");
-  return static_cast<int64_t>(
-      std::max_element(data_.begin(), data_.end()) - data_.begin());
+  check(!empty(), "argmax of empty tensor");
+  const float* p = data();
+  return static_cast<int64_t>(std::max_element(p, p + numel_) - p);
 }
 
 Shape broadcast_shape(const Shape& a, const Shape& b) {
@@ -234,7 +343,7 @@ namespace {
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
   if (a.shape() == b.shape()) {  // fast path
-    Tensor out(a.shape());
+    Tensor out = Tensor::uninit(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -243,7 +352,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
     return out;
   }
   const Shape os = broadcast_shape(a.shape(), b.shape());
-  Tensor out(os);
+  Tensor out = Tensor::uninit(os);
   const size_t nd = os.size();
   // Pad shapes on the left with 1s, compute broadcast strides (0 on size-1).
   auto padded_strides = [&](const Shape& s) {
@@ -278,6 +387,18 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
   return out;
 }
 
+// Out-of-place unary map: writes f(a[i]) into a fresh (uninitialized)
+// tensor, avoiding the copy-then-overwrite a COW `Tensor out = a` would do.
+template <typename F>
+Tensor unary_op(const Tensor& a, F f) {
+  Tensor out = Tensor::uninit(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -299,47 +420,31 @@ Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
 Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
 
 Tensor operator*(const Tensor& a, float s) {
-  Tensor out = a;
-  out.mul_(s);
-  return out;
+  return unary_op(a, [s](float v) { return v * s; });
 }
 Tensor operator*(float s, const Tensor& a) { return a * s; }
 Tensor operator+(const Tensor& a, float s) {
-  Tensor out = a;
-  out.apply_([s](float v) { return v + s; });
-  return out;
+  return unary_op(a, [s](float v) { return v + s; });
 }
 Tensor operator-(const Tensor& a) { return a * -1.0f; }
 
 Tensor exp(const Tensor& a) {
-  Tensor out = a;
-  out.apply_([](float v) { return std::exp(v); });
-  return out;
+  return unary_op(a, [](float v) { return std::exp(v); });
 }
 Tensor log(const Tensor& a) {
-  Tensor out = a;
-  out.apply_([](float v) { return std::log(v); });
-  return out;
+  return unary_op(a, [](float v) { return std::log(v); });
 }
 Tensor sqrt(const Tensor& a) {
-  Tensor out = a;
-  out.apply_([](float v) { return std::sqrt(v); });
-  return out;
+  return unary_op(a, [](float v) { return std::sqrt(v); });
 }
 Tensor abs(const Tensor& a) {
-  Tensor out = a;
-  out.apply_([](float v) { return std::fabs(v); });
-  return out;
+  return unary_op(a, [](float v) { return std::fabs(v); });
 }
 Tensor pow(const Tensor& a, float p) {
-  Tensor out = a;
-  out.apply_([p](float v) { return std::pow(v, p); });
-  return out;
+  return unary_op(a, [p](float v) { return std::pow(v, p); });
 }
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  Tensor out = a;
-  out.apply_([lo, hi](float v) { return std::clamp(v, lo, hi); });
-  return out;
+  return unary_op(a, [lo, hi](float v) { return std::clamp(v, lo, hi); });
 }
 
 Tensor reduce_to_shape(const Tensor& t, const Shape& target) {
@@ -452,14 +557,15 @@ Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
     total += p.size(axis);
   }
   os[static_cast<size_t>(axis)] = total;
-  Tensor out(os);
+  Tensor out = Tensor::uninit(os);
   const auto sp = split_axis(os, axis);
+  float* base = out.data();
   int64_t offset = 0;
   for (const Tensor& p : parts) {
     const int64_t pn = p.size(axis);
     const float* src = p.data();
     for (int64_t o = 0; o < sp.outer; ++o) {
-      float* dst = out.data() + (o * sp.n + offset) * sp.inner;
+      float* dst = base + (o * sp.n + offset) * sp.inner;
       const float* s = src + o * pn * sp.inner;
       std::copy(s, s + pn * sp.inner, dst);
     }
@@ -472,13 +578,16 @@ Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len) {
   if (axis < 0) axis += t.dim();
   check(axis >= 0 && axis < t.dim(), "slice: bad axis");
   check(start >= 0 && start + len <= t.size(axis), "slice: out of range");
+  if (axis == 0) return t.narrow(start, len);  // zero-copy view
   const auto sp = split_axis(t.shape(), axis);
   Shape os = t.shape();
   os[static_cast<size_t>(axis)] = len;
-  Tensor out(os);
+  Tensor out = Tensor::uninit(os);
+  const float* base = t.data();
+  float* obase = out.data();
   for (int64_t o = 0; o < sp.outer; ++o) {
-    const float* src = t.data() + (o * sp.n + start) * sp.inner;
-    float* dst = out.data() + o * len * sp.inner;
+    const float* src = base + (o * sp.n + start) * sp.inner;
+    float* dst = obase + o * len * sp.inner;
     std::copy(src, src + len * sp.inner, dst);
   }
   return out;
@@ -490,9 +599,11 @@ Tensor pad_slice(const Tensor& piece, const Shape& full_shape, int64_t axis,
   Tensor out(full_shape);
   const auto sp = split_axis(full_shape, ax);
   const int64_t len = piece.size(ax);
+  const float* base = piece.data();
+  float* obase = out.data();
   for (int64_t o = 0; o < sp.outer; ++o) {
-    const float* src = piece.data() + o * len * sp.inner;
-    float* dst = out.data() + (o * sp.n + start) * sp.inner;
+    const float* src = base + o * len * sp.inner;
+    float* dst = obase + (o * sp.n + start) * sp.inner;
     std::copy(src, src + len * sp.inner, dst);
   }
   return out;
@@ -501,16 +612,20 @@ Tensor pad_slice(const Tensor& piece, const Shape& full_shape, int64_t axis,
 float max_abs_diff(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) return std::numeric_limits<float>::infinity();
   float m = 0;
+  const float* pa = a.data();
+  const float* pb = b.data();
   for (int64_t i = 0; i < a.numel(); ++i)
-    m = std::max(m, std::fabs(a[i] - b[i]));
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
   return m;
 }
 
 bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
   if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
   for (int64_t i = 0; i < a.numel(); ++i) {
-    const float diff = std::fabs(a[i] - b[i]);
-    if (diff > atol + rtol * std::fabs(b[i])) return false;
+    const float diff = std::fabs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::fabs(pb[i])) return false;
   }
   return true;
 }

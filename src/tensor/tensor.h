@@ -2,15 +2,38 @@
 //
 // This is the numeric substrate for the whole repository: the autograd tape,
 // the NN layers, the SVD routines, and the gradient compressors all operate
-// on `pf::Tensor`. The design follows value semantics (copies are deep,
-// moves are cheap); views are not exposed -- reshape/transpose materialize.
-// That costs some memory traffic but keeps aliasing out of the picture,
-// which matters for correctness of the tape-based autograd built on top.
+// on `pf::Tensor`.
+//
+// Storage model: a Tensor is a (shared storage, offset, numel, shape) tuple
+// with **copy-on-write value semantics**. Copies and axis-0 slices share the
+// underlying ref-counted buffer; the first *mutating* access through any
+// handle (non-const `data()` / `operator[]` / `flat()`, the in-place ops)
+// copies the handle's window iff the buffer is shared. Observable behaviour
+// is therefore identical to deep-copy value semantics -- writes through one
+// handle are never visible through another -- but read-only copies (tape
+// inputs, batch shards, flat gradient views) cost O(1).
+//
+//  * `reshape` / `flatten` / `squeeze` are zero-copy views (every Tensor is
+//    a contiguous window, so any renumbering of the same numel aliases it).
+//  * `narrow(start, len)` / free-function `slice(t, 0, ...)` return zero-
+//    copy views along axis 0; slices along inner axes still materialize.
+//  * `transpose` materializes (strided views are deliberately not exposed;
+//    every Tensor stays contiguous, which keeps the kernels simple).
+//
+// Buffers come from `runtime::BufferPool`, a size-bucketed thread-safe
+// free list, so tape temporaries recycle instead of hitting the system
+// allocator every op (set the PF_POOL_DISABLE environment variable while
+// debugging to get exact, unpooled allocations). Concurrency contract:
+// concurrent const access to shared storage is safe, as is mutation of a
+// uniquely-owned tensor from one thread; mutating the *same* Tensor object
+// from several threads requires hoisting `data()` once (see
+// runtime/shm_cluster.cc's ring reduce).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,10 +48,28 @@ int64_t shape_numel(const Shape& shape);
 // Human-readable "[2, 3, 4]" form, used in error messages.
 std::string shape_str(const Shape& shape);
 
+namespace detail {
+
+// Ref-counted flat buffer; the float data lives in runtime::BufferPool
+// buckets and returns there on destruction.
+struct Storage {
+  float* data = nullptr;
+  int64_t capacity = 0;  // floats actually allocated (bucket size)
+  Storage(float* d, int64_t cap) : data(d), capacity(cap) {}
+  ~Storage();
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+};
+
+// Allocates storage for `numel` floats (contents unspecified).
+std::shared_ptr<Storage> alloc_storage(int64_t numel);
+
+}  // namespace detail
+
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(Shape shape);
+  explicit Tensor(Shape shape);            // zero-filled
   Tensor(Shape shape, float fill);
   Tensor(Shape shape, std::vector<float> data);
 
@@ -36,6 +77,9 @@ class Tensor {
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
   static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
   static Tensor scalar(float v) { return Tensor(Shape{}, {v}); }
+  // Allocated but NOT initialized -- for kernels that overwrite every
+  // element. Reading before writing is undefined (pool memory is recycled).
+  static Tensor uninit(Shape shape);
   // 0, 1, ..., n-1 as a 1-D tensor.
   static Tensor arange(int64_t n);
   static Tensor from_vector(std::vector<float> v);
@@ -43,36 +87,61 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t size(int64_t d) const;
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> flat() { return {data_.data(), data_.size()}; }
-  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+  // Const access never copies; mutable access unshares first (COW).
+  const float* data() const {
+    return storage_ ? storage_->data + offset_ : nullptr;
+  }
+  float* data() {
+    ensure_unique();
+    return storage_ ? storage_->data + offset_ : nullptr;
+  }
+  std::span<float> flat() {
+    ensure_unique();
+    return {data(), static_cast<size_t>(numel_)};
+  }
+  std::span<const float> flat() const {
+    return {data(), static_cast<size_t>(numel_)};
+  }
 
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) {
+    ensure_unique();
+    return storage_->data[offset_ + i];
+  }
+  float operator[](int64_t i) const { return storage_->data[offset_ + i]; }
 
   // Multi-index access (bounds unchecked in release; asserted in debug).
   float& at(std::initializer_list<int64_t> idx);
   float at(std::initializer_list<int64_t> idx) const;
 
-  // Returns a tensor with the same data and a new shape; numel must match.
-  // One dimension may be -1 (inferred).
+  // ---- Zero-copy views (share storage; writes still COW). ----
+  // Same data, new shape; numel must match. One dimension may be -1
+  // (inferred). O(1): no element is copied.
   Tensor reshape(Shape new_shape) const;
+  // View as 1-D of `numel()` elements. O(1).
+  Tensor flatten() const;
+  // View with all size-1 dimensions removed (rank-0 if all were 1). O(1).
+  Tensor squeeze() const;
+  // Contiguous view of rows [start, start+len) along axis 0. O(1).
+  Tensor narrow(int64_t start, int64_t len) const;
 
   // Permute dimensions; materializes the result.
   Tensor transpose(const std::vector<int64_t>& perm) const;
   // 2-D transpose convenience.
   Tensor t() const;
 
-  // Elementwise in-place helpers.
+  // Elementwise in-place helpers (each unshares first).
   Tensor& fill(float v);
   Tensor& add_(const Tensor& other, float alpha = 1.0f);  // this += alpha*other
   Tensor& mul_(float s);
   Tensor& zero_() { return fill(0.0f); }
   Tensor& apply_(const std::function<float(float)>& f);
+  // Becomes an element-wise copy of `src` (shape adopted). Reuses this
+  // tensor's buffer when it is uniquely owned and the numel matches, so
+  // steady-state gradient overwrites never allocate.
+  Tensor& copy_from(const Tensor& src);
 
   // Reductions over all elements.
   float sum() const;
@@ -86,9 +155,28 @@ class Tensor {
 
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  // ---- Storage introspection (tests / instrumentation). ----
+  bool shares_storage_with(const Tensor& o) const {
+    return storage_ && storage_ == o.storage_;
+  }
+  // Handles (tensors/views) currently sharing this buffer; 0 when empty.
+  int64_t storage_refcount() const {
+    return storage_ ? static_cast<int64_t>(storage_.use_count()) : 0;
+  }
+  int64_t storage_offset() const { return offset_; }
+
  private:
+  // Copies this handle's window into fresh storage iff the buffer is
+  // shared; the slow path counts as a COW unshare in the pool stats.
+  void ensure_unique() {
+    if (storage_ && storage_.use_count() > 1) unshare();
+  }
+  void unshare();
+
   Shape shape_;
-  std::vector<float> data_;
+  std::shared_ptr<detail::Storage> storage_;
+  int64_t offset_ = 0;  // start of this tensor's window, in floats
+  int64_t numel_ = 0;
 };
 
 // ---- Elementwise binary ops with full numpy-style broadcasting. ----
@@ -133,7 +221,8 @@ std::vector<int64_t> argmax_rows(const Tensor& t);
 // ---- Shape manipulation. ----
 // Concatenate along an axis; all inputs must agree on the other axes.
 Tensor concat(const std::vector<Tensor>& parts, int64_t axis);
-// Extract [start, start+len) along `axis`.
+// Extract [start, start+len) along `axis`. Axis 0 returns a zero-copy view
+// (`Tensor::narrow`); inner axes materialize a contiguous result.
 Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len);
 // Scatter-add `piece` into a zero tensor of shape `full_shape` at offset
 // `start` along `axis` (adjoint of slice).

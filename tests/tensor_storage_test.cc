@@ -1,0 +1,275 @@
+// Storage-model tests for the shared-buffer Tensor: copy-on-write
+// semantics, zero-copy views, refcounts under copy/move, BufferPool reuse
+// (including across threads), and bitwise-identical training with the pool
+// on vs off. The Bitwise suite is also re-run with PF_THREADS=4 by the
+// pf_tests_threads4 ctest entry.
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "gradcheck.h"
+#include "nn/layers.h"
+#include "optim/optim.h"
+#include "runtime/buffer_pool.h"
+#include "tensor/rng.h"
+
+namespace pf {
+namespace {
+
+// Forces pooling on for a test body and restores the previous mode (the
+// suite must pass under PF_POOL_DISABLE=1 too, where the default is off).
+class PoolOnGuard {
+ public:
+  PoolOnGuard() : was_(runtime::BufferPool::instance().enabled()) {
+    runtime::BufferPool::instance().set_enabled(true);
+  }
+  ~PoolOnGuard() { runtime::BufferPool::instance().set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(TensorStorage, CopyShares_WriteUnshares) {
+  Tensor a = Tensor::arange(8);
+  Tensor b = a;  // O(1): shares storage
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a.storage_refcount(), 2);
+
+  const uint64_t cow_before = runtime::BufferPool::instance().stats().cow_unshares;
+  b[3] = 99.0f;  // first mutating access copies b's window
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(a.storage_refcount(), 1);
+  EXPECT_EQ(b.storage_refcount(), 1);
+  EXPECT_FLOAT_EQ(a[3], 3.0f);  // original untouched
+  EXPECT_FLOAT_EQ(b[3], 99.0f);
+  EXPECT_EQ(runtime::BufferPool::instance().stats().cow_unshares,
+            cow_before + 1);
+}
+
+TEST(TensorStorage, ConstAccessNeverCopies) {
+  Tensor a = Tensor::arange(16);
+  Tensor b = a;
+  const Tensor& cb = b;
+  const uint64_t cow_before = runtime::BufferPool::instance().stats().cow_unshares;
+  // Const reads through every accessor keep the buffer shared.
+  EXPECT_FLOAT_EQ(cb[5], 5.0f);
+  EXPECT_EQ(cb.data()[6], 6.0f);
+  EXPECT_FLOAT_EQ(cb.flat()[7], 7.0f);
+  EXPECT_FLOAT_EQ(cb.sum(), a.sum());
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(runtime::BufferPool::instance().stats().cow_unshares, cow_before);
+}
+
+TEST(TensorStorage, ReshapeFlattenSqueezeAreO1Views) {
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  Tensor t = Tensor::arange(24).reshape(Shape{2, 3, 4});
+  pool.reset_stats();
+  Tensor r = t.reshape(Shape{4, 6});
+  Tensor r2 = t.reshape(Shape{4, -1});  // inferred dim
+  Tensor f = t.flatten();
+  Tensor s = t.reshape(Shape{1, 24, 1}).squeeze();
+  // O(1) asserted through the pool: no buffer was allocated for any view.
+  EXPECT_EQ(pool.stats().allocations(), 0u);
+  EXPECT_TRUE(r.shares_storage_with(t));
+  EXPECT_TRUE(r2.shares_storage_with(t));
+  EXPECT_TRUE(f.shares_storage_with(t));
+  EXPECT_TRUE(s.shares_storage_with(t));
+  EXPECT_EQ(r2.shape(), (Shape{4, 6}));
+  EXPECT_EQ(s.shape(), (Shape{24}));
+  EXPECT_FLOAT_EQ(r[23], 23.0f);
+}
+
+TEST(TensorStorage, NarrowIsZeroCopyAndIndependentOnWrite) {
+  Tensor t = Tensor::arange(12).reshape(Shape{4, 3});
+  Tensor v = t.narrow(1, 2);  // rows 1..2
+  EXPECT_TRUE(v.shares_storage_with(t));
+  EXPECT_EQ(v.storage_offset(), 3);
+  EXPECT_EQ(v.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(v[0], 3.0f);
+  EXPECT_FLOAT_EQ(v[5], 8.0f);
+
+  // Writing through the view copies only the view's window.
+  v[0] = -1.0f;
+  EXPECT_FALSE(v.shares_storage_with(t));
+  EXPECT_EQ(v.storage_offset(), 0);
+  EXPECT_FLOAT_EQ(t[3], 3.0f);
+  EXPECT_FLOAT_EQ(v[0], -1.0f);
+
+  // Writing through the parent leaves an outstanding view intact.
+  Tensor w = t.narrow(0, 1);
+  t[0] = 42.0f;  // t unshares; w still reads the old buffer
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[0], 42.0f);
+}
+
+TEST(TensorStorage, SliceAxis0ViewsInnerAxesMaterialize) {
+  Tensor t = Tensor::arange(24).reshape(Shape{4, 6});
+  Tensor s0 = slice(t, 0, 1, 2);
+  EXPECT_TRUE(s0.shares_storage_with(t));  // axis 0: zero-copy
+  Tensor s1 = slice(t, 1, 2, 3);
+  EXPECT_FALSE(s1.shares_storage_with(t));  // inner axis: contiguous copy
+  EXPECT_EQ(s1.shape(), (Shape{4, 3}));
+  EXPECT_FLOAT_EQ(s1.at({2, 0}), t.at({2, 2}));
+}
+
+TEST(TensorStorage, RefcountUnderCopyAndMove) {
+  Tensor a(Shape{5}, 1.0f);
+  EXPECT_EQ(a.storage_refcount(), 1);
+  Tensor b = a;
+  Tensor c = b;
+  EXPECT_EQ(a.storage_refcount(), 3);
+  Tensor m = std::move(c);  // move transfers the handle, count unchanged
+  EXPECT_EQ(a.storage_refcount(), 3);
+  EXPECT_TRUE(m.shares_storage_with(a));
+  b = Tensor();  // dropping a handle decrements
+  EXPECT_EQ(a.storage_refcount(), 2);
+  m = Tensor();
+  EXPECT_EQ(a.storage_refcount(), 1);
+}
+
+TEST(TensorStorage, CopyFromReusesUniqueBuffer) {
+  PoolOnGuard guard;
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  Tensor dst(Shape{3, 4});
+  Tensor src = Tensor::arange(12).reshape(Shape{3, 4});
+  pool.reset_stats();
+  dst.copy_from(src);  // unique + same numel: plain memcpy, no allocation
+  EXPECT_EQ(pool.stats().allocations(), 0u);
+  EXPECT_FALSE(dst.shares_storage_with(src));
+  EXPECT_TRUE(allclose(dst, src));
+}
+
+TEST(TensorStorage, PoolReusesBufferAcrossThreads) {
+  PoolOnGuard guard;
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  pool.clear();
+  pool.reset_stats();
+  constexpr int64_t kN = 5000;  // odd size; lands in the 8192-float bucket
+  std::thread producer([&] {
+    Tensor t = Tensor::uninit(Shape{kN});
+    t.fill(1.0f);
+  });  // t destroyed on the producer thread -> buffer returns to the pool
+  producer.join();
+  const uint64_t misses_after_first = pool.stats().misses;
+  uint64_t hits_in_consumer = 0;
+  std::thread consumer([&] {
+    Tensor t = Tensor::uninit(Shape{kN});
+    t.fill(2.0f);
+    hits_in_consumer = pool.stats().hits;
+  });
+  consumer.join();
+  EXPECT_GE(hits_in_consumer, 1u);  // served from the free list
+  EXPECT_EQ(pool.stats().misses, misses_after_first);  // no new sys alloc
+}
+
+TEST(TensorStorage, PoolDisableFallsThroughToSystemAllocator) {
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  const bool was = pool.enabled();
+  pool.set_enabled(false);
+  pool.reset_stats();
+  {
+    Tensor a = Tensor::uninit(Shape{100});
+    a.fill(0.5f);
+  }
+  {
+    Tensor b = Tensor::uninit(Shape{100});
+    b.fill(0.5f);
+  }
+  EXPECT_EQ(pool.stats().hits, 0u);  // never served from a free list
+  EXPECT_EQ(pool.stats().misses, 2u);
+  pool.set_enabled(was);
+}
+
+// ---- Fuzz: random view chains behave like materialized copies. ----
+
+class ViewFuzzP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViewFuzzP, ViewChainMatchesMaterializedReference) {
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  // Random 3-D shape, then a chain of reshape/flatten/narrow views.
+  const int64_t d0 = 1 + static_cast<int64_t>(rng.uniform() * 4);
+  const int64_t d1 = 1 + static_cast<int64_t>(rng.uniform() * 5);
+  const int64_t d2 = 1 + static_cast<int64_t>(rng.uniform() * 6);
+  Tensor t = rng.randn(Shape{d0, d1, d2});
+  std::vector<float> ref(t.data(), t.data() + t.numel());
+
+  Tensor v = t.reshape(Shape{d0 * d1, d2}).flatten();
+  const int64_t start = static_cast<int64_t>(rng.uniform() * (v.numel() / 2));
+  const int64_t len = 1 + static_cast<int64_t>(rng.uniform() *
+                                               (v.numel() - start - 1));
+  Tensor w = v.narrow(start, len);
+  ASSERT_TRUE(w.shares_storage_with(t));
+  for (int64_t i = 0; i < len; ++i)
+    ASSERT_FLOAT_EQ(w[i], ref[static_cast<size_t>(start + i)]) << i;
+
+  // Mutate the deepest view; the root and the reference must not move.
+  Tensor w2 = w;  // extra share, so the write below must COW
+  w2.mul_(2.0f);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    ASSERT_FLOAT_EQ(t[i], ref[static_cast<size_t>(i)]) << i;
+  for (int64_t i = 0; i < len; ++i)
+    ASSERT_FLOAT_EQ(w2[i], 2.0f * ref[static_cast<size_t>(start + i)]) << i;
+}
+
+// Gradients flow unchanged through the zero-copy ag::reshape path.
+TEST_P(ViewFuzzP, GradcheckThroughViewReshape) {
+  Rng rng(static_cast<uint64_t>(200 + GetParam()));
+  Tensor x = rng.randn(Shape{2, 6});
+  pf::testing::gradcheck(
+      [](const std::vector<ag::Var>& in) {
+        ag::Var r = ag::reshape(in[0], Shape{3, 4});
+        return ag::sum_all(ag::mul(r, r));
+      },
+      {x});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewFuzzP, ::testing::Range(0, 8));
+
+// ---- Bitwise: pool on vs off cannot change a single training bit. ----
+// (Re-run with PF_THREADS=4 by the pf_tests_threads4 ctest entry.)
+
+Tensor train_small_convnet(bool pool_on) {
+  runtime::BufferPool& pool = runtime::BufferPool::instance();
+  const bool was = pool.enabled();
+  pool.set_enabled(pool_on);
+
+  Rng rng(7);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(3, 4, 3, 1, 1, rng);
+  model.emplace<nn::BatchNorm2d>(4);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Linear>(4 * 6 * 6, 5, rng);
+  optim::SGD sgd(model.parameters(), /*lr=*/0.05f, /*momentum=*/0.9f,
+                 /*weight_decay=*/1e-4f);
+
+  Rng data_rng(11);
+  Tensor x = data_rng.randn(Shape{4, 3, 6, 6});
+  std::vector<int64_t> labels = {0, 1, 2, 3};
+  for (int step = 0; step < 3; ++step) {
+    model.zero_grad();
+    ag::Var loss = ag::cross_entropy(model.forward(ag::leaf(x)), labels);
+    ag::backward(loss);
+    sgd.step();
+  }
+  Tensor flat = model.flat_params();
+  pool.set_enabled(was);
+  return flat;
+}
+
+TEST(TensorStorageBitwise, TrainingIdenticalWithPoolOnAndOff) {
+  Tensor with_pool = train_small_convnet(/*pool_on=*/true);
+  Tensor without_pool = train_small_convnet(/*pool_on=*/false);
+  ASSERT_EQ(with_pool.numel(), without_pool.numel());
+  EXPECT_EQ(std::memcmp(with_pool.data(), without_pool.data(),
+                        static_cast<size_t>(with_pool.numel()) * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace pf
