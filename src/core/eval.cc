@@ -1,0 +1,27 @@
+#include "core/eval.h"
+
+#include "autograd/variable.h"
+
+namespace pf::core {
+
+Tensor eval_forward(nn::UnaryModule& model, const Tensor& nchw) {
+  ag::NoGradGuard ng;
+  return model.forward(ag::leaf(nchw))->value;
+}
+
+Tensor eval_forward_lm(models::LstmLm& model, const std::vector<int64_t>& ids,
+                       int64_t t_len, int64_t b,
+                       std::vector<nn::LstmState>* state) {
+  ag::NoGradGuard ng;
+  return model.forward(ids, t_len, b, state)->value;
+}
+
+Tensor eval_forward_mt(models::TransformerMT& model,
+                       const std::vector<int64_t>& src, int64_t src_len,
+                       const std::vector<int64_t>& tgt_in, int64_t tgt_len,
+                       int64_t b) {
+  ag::NoGradGuard ng;
+  return model.forward(src, src_len, tgt_in, tgt_len, b)->value;
+}
+
+}  // namespace pf::core

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/amp.h"
+#include "core/eval.h"
 #include "metrics/metrics.h"
 #include "optim/optim.h"
 #include "runtime/thread_pool.h"
@@ -41,26 +42,25 @@ double vision_epoch(nn::UnaryModule& model, optim::SGD& opt,
 EvalResult evaluate_vision(nn::UnaryModule& model,
                            const data::SyntheticImages& ds, int64_t batch,
                            float label_smoothing) {
+  EvalModeGuard eval_mode(model);
   ag::NoGradGuard ng;
-  model.train(false);
   EvalResult r;
   int64_t total = 0;
   for (int64_t start = 0; start < ds.test_size(); start += batch) {
     data::ImageBatch b = ds.test_batch(start, batch);
     const int64_t n = b.images.size(0);
-    ag::Var logits = model.forward(ag::leaf(b.images));
-    ag::Var loss = ag::cross_entropy(logits, b.labels, label_smoothing);
-    r.acc += metrics::topk_accuracy(logits->value, b.labels, 1) * n;
-    const int64_t k5 =
-        std::min<int64_t>(5, logits->value.size(1));
-    r.top5 += metrics::topk_accuracy(logits->value, b.labels, k5) * n;
+    Tensor logits = eval_forward(model, b.images);
+    ag::Var loss =
+        ag::cross_entropy(ag::leaf(logits), b.labels, label_smoothing);
+    r.acc += metrics::topk_accuracy(logits, b.labels, 1) * n;
+    const int64_t k5 = std::min<int64_t>(5, logits.size(1));
+    r.top5 += metrics::topk_accuracy(logits, b.labels, k5) * n;
     r.loss += loss->value[0] * n;
     total += n;
   }
   r.acc /= total;
   r.top5 /= total;
   r.loss /= total;
-  model.train(true);
   return r;
 }
 
@@ -121,19 +121,18 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
 
 double evaluate_lm(models::LstmLm& model, const std::vector<int64_t>& stream,
                    int64_t batch, int64_t bptt) {
+  EvalModeGuard eval_mode(model);
   ag::NoGradGuard ng;
-  model.train(false);
   double loss_sum = 0;
   int64_t tokens = 0;
   std::vector<nn::LstmState> state;
   for (const auto& b : data::SyntheticCorpus::batchify(stream, batch, bptt)) {
-    ag::Var logits = model.forward(b.input, b.t, b.b, &state);
+    Tensor logits = eval_forward_lm(model, b.input, b.t, b.b, &state);
     models::LstmLm::detach(state);
-    ag::Var loss = ag::cross_entropy(logits, b.target);
+    ag::Var loss = ag::cross_entropy(ag::leaf(logits), b.target);
     loss_sum += loss->value[0] * static_cast<double>(b.t * b.b);
     tokens += b.t * b.b;
   }
-  model.train(true);
   return metrics::perplexity(loss_sum / std::max<int64_t>(1, tokens));
 }
 
@@ -232,25 +231,24 @@ double mt_epoch(models::TransformerMT& model, optim::Adam& opt,
 
 double mt_eval_ppl(models::TransformerMT& model,
                    const data::SyntheticTranslation& ds, int64_t batch) {
+  EvalModeGuard eval_mode(model);
   ag::NoGradGuard ng;
-  model.train(false);
   double loss_sum = 0;
   int64_t batches = 0;
   for (const auto& b : ds.batches(ds.test(), batch, /*epoch=*/0)) {
-    ag::Var logits =
-        model.forward(b.src, b.src_len, b.tgt_in, b.tgt_len, b.b);
+    Tensor logits =
+        eval_forward_mt(model, b.src, b.src_len, b.tgt_in, b.tgt_len, b.b);
     // No label smoothing in eval perplexity.
-    ag::Var loss = ag::cross_entropy(logits, b.tgt_out, 0.0f, -100);
+    ag::Var loss = ag::cross_entropy(ag::leaf(logits), b.tgt_out, 0.0f, -100);
     loss_sum += loss->value[0];
     ++batches;
   }
-  model.train(true);
   return metrics::perplexity(loss_sum / std::max<int64_t>(1, batches));
 }
 
 double mt_eval_bleu(models::TransformerMT& model,
                     const data::SyntheticTranslation& ds, int64_t batch) {
-  model.train(false);
+  EvalModeGuard eval_mode(model);
   std::vector<std::vector<int64_t>> hyps, refs;
   for (const auto& b : ds.batches(ds.test(), batch, /*epoch=*/0)) {
     auto decoded = model.greedy_decode(
@@ -270,7 +268,6 @@ double mt_eval_bleu(models::TransformerMT& model,
       refs.push_back(std::move(r));
     }
   }
-  model.train(true);
   return metrics::bleu4(hyps, refs);
 }
 

@@ -1,6 +1,7 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
@@ -8,8 +9,6 @@
 namespace pf::nn {
 
 namespace {
-
-constexpr uint64_t kMagic = 0x50554646434B5031ull;  // "PUFFCKP1"
 
 // Collect parameter and buffer tensors depth-first, params first per module
 // (the same order the module tree exposes them).
@@ -30,21 +29,102 @@ uint64_t read_u64(std::ifstream& is) {
   return v;
 }
 
+// FNV-1a over the payload bytes: cheap, dependency-free, and sensitive to
+// both bit flips and truncation (the two corruptions artifacts actually
+// suffer in practice).
+uint64_t fnv1a(const char* p, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// Append helpers for the in-memory v1 payload.
+void put_u64(std::vector<char>& buf, uint64_t v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(v));
+}
+
+// Cursor-based reads over the verified payload buffer.
+struct PayloadReader {
+  const char* p;
+  size_t left;
+  uint64_t u64() {
+    if (left < sizeof(uint64_t))
+      throw std::runtime_error("checkpoint: truncated payload");
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    p += sizeof(v);
+    left -= sizeof(v);
+    return v;
+  }
+  void floats(float* dst, size_t n) {
+    const size_t bytes = n * sizeof(float);
+    if (left < bytes)
+      throw std::runtime_error("checkpoint: truncated tensor data");
+    std::memcpy(dst, p, bytes);
+    p += bytes;
+    left -= bytes;
+  }
+};
+
+// Shared by the v0 stream path and the v1 payload path.
+void check_count(uint64_t count, size_t model_count) {
+  if (count != model_count)
+    throw std::runtime_error(
+        "checkpoint: tensor count mismatch (file " + std::to_string(count) +
+        ", model " + std::to_string(model_count) + ")");
+}
+
+void check_shape(const Shape& file_shape, const Tensor& t) {
+  if (file_shape != t.shape())
+    throw std::runtime_error("checkpoint: shape mismatch: file " +
+                             shape_str(file_shape) + " vs model " +
+                             shape_str(t.shape()));
+}
+
 }  // namespace
 
-void save_checkpoint(Module& module, const std::string& path) {
+void save_checkpoint(Module& module, const std::string& path, int version) {
+  if (version != 0 && version != 1)
+    throw std::runtime_error("checkpoint: unknown format version " +
+                             std::to_string(version));
   std::vector<Tensor*> tensors;
   collect(module, tensors);
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
-  write_u64(os, kMagic);
-  write_u64(os, tensors.size());
-  for (Tensor* t : tensors) {
-    write_u64(os, static_cast<uint64_t>(t->dim()));
-    for (int64_t d = 0; d < t->dim(); ++d)
-      write_u64(os, static_cast<uint64_t>(t->size(d)));
-    os.write(reinterpret_cast<const char*>(t->data()),
-             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+
+  if (version == 0) {
+    // Legacy layout, kept so older tooling can still be fed.
+    write_u64(os, kCheckpointMagicV0);
+    write_u64(os, tensors.size());
+    for (Tensor* t : tensors) {
+      write_u64(os, static_cast<uint64_t>(t->dim()));
+      for (int64_t d = 0; d < t->dim(); ++d)
+        write_u64(os, static_cast<uint64_t>(t->size(d)));
+      os.write(reinterpret_cast<const char*>(t->data()),
+               static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    }
+  } else {
+    // v1: build the payload in memory so it can be checksummed as one blob.
+    std::vector<char> payload;
+    put_u64(payload, tensors.size());
+    for (Tensor* t : tensors) {
+      put_u64(payload, static_cast<uint64_t>(t->dim()));
+      for (int64_t d = 0; d < t->dim(); ++d)
+        put_u64(payload, static_cast<uint64_t>(t->size(d)));
+      const char* data = reinterpret_cast<const char*>(t->data());
+      payload.insert(payload.end(), data,
+                     data + t->numel() * sizeof(float));
+    }
+    write_u64(os, kCheckpointMagicV1);
+    const char ver = static_cast<char>(kCheckpointVersion);
+    os.write(&ver, 1);
+    write_u64(os, fnv1a(payload.data(), payload.size()));
+    write_u64(os, payload.size());
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   }
   if (!os) throw std::runtime_error("checkpoint: write failed: " + path);
 }
@@ -54,25 +134,50 @@ void load_checkpoint(Module& module, const std::string& path) {
   collect(module, tensors);
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
-  if (read_u64(is) != kMagic)
+
+  const uint64_t magic = read_u64(is);
+  if (magic == kCheckpointMagicV0) {
+    // Legacy unchecksummed stream.
+    check_count(read_u64(is), tensors.size());
+    for (Tensor* t : tensors) {
+      const uint64_t dim = read_u64(is);
+      Shape shape(dim);
+      for (uint64_t d = 0; d < dim; ++d)
+        shape[d] = static_cast<int64_t>(read_u64(is));
+      check_shape(shape, *t);
+      is.read(reinterpret_cast<char*>(t->data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+      if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+    }
+    return;
+  }
+  if (magic != kCheckpointMagicV1)
     throw std::runtime_error("checkpoint: bad magic in " + path);
-  const uint64_t count = read_u64(is);
-  if (count != tensors.size())
-    throw std::runtime_error(
-        "checkpoint: tensor count mismatch (file " + std::to_string(count) +
-        ", model " + std::to_string(tensors.size()) + ")");
+
+  char ver = 0;
+  is.read(&ver, 1);
+  if (!is || static_cast<uint8_t>(ver) != kCheckpointVersion)
+    throw std::runtime_error("checkpoint: unsupported format version in " +
+                             path);
+  const uint64_t checksum = read_u64(is);
+  const uint64_t payload_bytes = read_u64(is);
+  std::vector<char> payload(payload_bytes);
+  is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (!is || static_cast<uint64_t>(is.gcount()) != payload_bytes)
+    throw std::runtime_error("checkpoint: truncated payload in " + path);
+  if (fnv1a(payload.data(), payload.size()) != checksum)
+    throw std::runtime_error("checkpoint: checksum mismatch in " + path +
+                             " (corrupt or truncated artifact)");
+
+  PayloadReader r{payload.data(), payload.size()};
+  check_count(r.u64(), tensors.size());
   for (Tensor* t : tensors) {
-    const uint64_t dim = read_u64(is);
+    const uint64_t dim = r.u64();
     Shape shape(dim);
     for (uint64_t d = 0; d < dim; ++d)
-      shape[d] = static_cast<int64_t>(read_u64(is));
-    if (shape != t->shape())
-      throw std::runtime_error("checkpoint: shape mismatch: file " +
-                               shape_str(shape) + " vs model " +
-                               shape_str(t->shape()));
-    is.read(reinterpret_cast<char*>(t->data()),
-            static_cast<std::streamsize>(t->numel() * sizeof(float)));
-    if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+      shape[d] = static_cast<int64_t>(r.u64());
+    check_shape(shape, *t);
+    r.floats(t->data(), static_cast<size_t>(t->numel()));
   }
 }
 

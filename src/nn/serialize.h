@@ -2,20 +2,38 @@
 // simple binary format. The format stores per-tensor shapes so mismatched
 // architectures fail loudly instead of loading garbage -- the usual failure
 // mode when checkpointing a vanilla model and loading it into a hybrid.
+//
+// Two on-disk versions exist:
+//   v0 ("PUFFCKP1"): magic | count | tensors          (legacy, still read)
+//   v1 ("PUFFCKP2"): magic | version byte | payload checksum (FNV-1a) |
+//                    payload bytes | payload(count | tensors)
+// v1 is what save_checkpoint writes by default; the checksum makes
+// truncated or bit-flipped artifacts fail loudly at load time instead of
+// silently serving garbage weights (serving artifacts are copied between
+// machines far more often than training checkpoints).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "nn/module.h"
 
 namespace pf::nn {
 
-// Writes every parameter and buffer (depth-first order) to `path`.
-// Throws std::runtime_error on I/O failure.
-void save_checkpoint(Module& module, const std::string& path);
+// On-disk magics (exposed so tests can craft version-0 files).
+inline constexpr uint64_t kCheckpointMagicV0 = 0x50554646434B5031ull;
+inline constexpr uint64_t kCheckpointMagicV1 = 0x50554646434B5032ull;
+inline constexpr uint8_t kCheckpointVersion = 1;
 
-// Loads a checkpoint written by save_checkpoint into a structurally
-// identical module tree. Throws on I/O failure, magic/shape/count mismatch.
+// Writes every parameter and buffer (depth-first order) to `path`.
+// `version` selects the on-disk format (1 = checksummed, 0 = legacy).
+// Throws std::runtime_error on I/O failure or unknown version.
+void save_checkpoint(Module& module, const std::string& path,
+                     int version = kCheckpointVersion);
+
+// Loads a checkpoint written by save_checkpoint (either version) into a
+// structurally identical module tree. Throws on I/O failure, magic /
+// version / checksum / shape / count mismatch.
 void load_checkpoint(Module& module, const std::string& path);
 
 }  // namespace pf::nn

@@ -1,0 +1,130 @@
+#include "serve/frozen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace pf::serve {
+
+namespace detail {
+
+Tensor freeze_and_pack(nn::Module& m) {
+  m.train(false);
+  std::vector<nn::Param*> params = m.parameters();
+  int64_t total = 0;
+  for (nn::Param* p : params) total += p->var->numel();
+
+  Tensor arena = Tensor::uninit(Shape{std::max<int64_t>(1, total)});
+  float* ap = arena.data();  // unique here: no COW, no sharing yet
+  int64_t off = 0;
+  for (nn::Param* p : params) {
+    Tensor& v = p->var->value;
+    const int64_t n = v.numel();
+    std::copy(v.data(), v.data() + n, ap + off);
+    // Rebind the parameter as a zero-copy window into the arena. Every
+    // module member ag::Var is a handle to the same node, so the rebound
+    // value is visible everywhere the layer reads its weight.
+    p->var->value = arena.narrow(off, n).reshape(v.shape());
+    p->var->requires_grad = false;
+    off += n;
+  }
+  return arena;
+}
+
+}  // namespace detail
+
+FrozenModel::FrozenModel(std::unique_ptr<nn::UnaryModule> m, std::string name,
+                         const std::string& checkpoint)
+    : model_(std::move(m)), name_(std::move(name)) {
+  if (!model_) throw std::runtime_error("FrozenModel: null module");
+  if (!checkpoint.empty()) nn::load_checkpoint(*model_, checkpoint);
+  params_ = model_->num_params();
+  arena_ = detail::freeze_and_pack(*model_);
+}
+
+Tensor FrozenModel::forward(const Tensor& nchw) const {
+  return core::eval_forward(*model_, nchw);
+}
+
+void FrozenModel::forward_batch(const std::vector<RequestPtr>& reqs) {
+  if (reqs.empty()) return;
+  const Shape& sample = reqs[0]->input.shape();
+  const int64_t n = static_cast<int64_t>(reqs.size());
+  Shape batch_shape;
+  batch_shape.reserve(sample.size() + 1);
+  batch_shape.push_back(n);
+  batch_shape.insert(batch_shape.end(), sample.begin(), sample.end());
+
+  Tensor batch = Tensor::uninit(batch_shape);
+  const int64_t stride = reqs[0]->input.numel();
+  float* bp = batch.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor& in = reqs[static_cast<size_t>(i)]->input;
+    if (in.shape() != sample)
+      throw std::runtime_error("FrozenModel: mixed sample shapes in batch");
+    std::copy(in.data(), in.data() + stride, bp + i * stride);
+  }
+
+  Tensor out = forward(batch);  // (n, classes)
+  for (int64_t i = 0; i < n; ++i)
+    reqs[static_cast<size_t>(i)]->output =
+        out.narrow(i, 1).reshape(Shape{out.size(1)});
+}
+
+void FrozenModel::prime(const Shape& sample_shape, int64_t max_batch) {
+  for (int64_t b = 1; b <= std::max<int64_t>(1, max_batch); ++b) {
+    Shape s;
+    s.reserve(sample_shape.size() + 1);
+    s.push_back(b);
+    s.insert(s.end(), sample_shape.begin(), sample_shape.end());
+    forward(Tensor::zeros(s));
+  }
+}
+
+FrozenLstm::FrozenLstm(std::unique_ptr<models::LstmLm> m, int64_t seq_len,
+                       std::string name, const std::string& checkpoint)
+    : model_(std::move(m)), seq_len_(seq_len), name_(std::move(name)) {
+  if (!model_) throw std::runtime_error("FrozenLstm: null module");
+  if (seq_len_ < 1) throw std::runtime_error("FrozenLstm: seq_len >= 1");
+  if (!checkpoint.empty()) nn::load_checkpoint(*model_, checkpoint);
+  params_ = model_->num_params();
+  arena_ = detail::freeze_and_pack(*model_);
+}
+
+Tensor FrozenLstm::forward(const std::vector<int64_t>& ids, int64_t t_len,
+                           int64_t b) const {
+  // Stateless scoring: every request is an independent prefix, so each
+  // forward starts from the zero state (nullptr).
+  return core::eval_forward_lm(*model_, ids, t_len, b, nullptr);
+}
+
+void FrozenLstm::forward_batch(const std::vector<RequestPtr>& reqs) {
+  if (reqs.empty()) return;
+  const int64_t b = static_cast<int64_t>(reqs.size());
+  const int64_t t = seq_len_;
+  std::vector<int64_t> ids(static_cast<size_t>(t * b));
+  for (int64_t i = 0; i < b; ++i) {
+    const std::vector<int64_t>& toks = reqs[static_cast<size_t>(i)]->tokens;
+    if (static_cast<int64_t>(toks.size()) != t)
+      throw std::runtime_error("FrozenLstm: request length != seq_len");
+    // Time-major layout: token at time step j of request i sits at j*b + i.
+    for (int64_t j = 0; j < t; ++j)
+      ids[static_cast<size_t>(j * b + i)] = toks[static_cast<size_t>(j)];
+  }
+  Tensor logits = forward(ids, t, b);  // (t*b, vocab)
+  // Next-token logits = the last timestep's rows, one per request.
+  Tensor last = logits.narrow((t - 1) * b, b);
+  for (int64_t i = 0; i < b; ++i)
+    reqs[static_cast<size_t>(i)]->output =
+        last.narrow(i, 1).reshape(Shape{last.size(1)});
+}
+
+void FrozenLstm::prime(int64_t max_batch) {
+  for (int64_t b = 1; b <= std::max<int64_t>(1, max_batch); ++b) {
+    std::vector<int64_t> ids(static_cast<size_t>(seq_len_ * b), 0);
+    forward(ids, seq_len_, b);
+  }
+}
+
+}  // namespace pf::serve

@@ -1,0 +1,106 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace pf::serve {
+
+Server::Server(Engine& engine, const ServerConfig& cfg,
+               metrics::ServeStats* stats)
+    : engine_(engine), cfg_(cfg), stats_(stats), batcher_(cfg.batcher) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  const int n = std::max(1, std::min(cfg_.workers, runtime::threads()));
+  workers_running_ = n;
+  dispatcher_ = std::thread([this, n] {
+    runtime::parallel_for(0, n, 1, [this](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) worker_loop();
+    });
+  });
+}
+
+void Server::stop() {
+  batcher_.shutdown();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+bool Server::submit(const RequestPtr& r) {
+  if (batcher_.submit(r)) {
+    if (stats_) stats_->record_submit();
+    return true;
+  }
+  if (stats_) stats_->record_reject();
+  return false;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<RequestPtr> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // shutdown, queue drained
+    engine_.forward_batch(batch);
+    const auto now = std::chrono::steady_clock::now();
+    if (stats_)
+      stats_->record_batch(static_cast<int64_t>(batch.size()),
+                           batcher_.depth());
+    for (const RequestPtr& r : batch) {
+      if (stats_)
+        stats_->record_done(
+            std::chrono::duration<double, std::milli>(now - r->t_submit)
+                .count());
+      r->done.set_value();
+    }
+  }
+}
+
+// ---------------- Load generators ----------------
+
+int64_t run_closed_loop(Server& server, const RequestFactory& make,
+                        const ClosedLoopConfig& cfg) {
+  std::atomic<int64_t> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int k = 0; k < cfg.requests_per_client; ++k) {
+        const uint64_t id = static_cast<uint64_t>(c) *
+                                static_cast<uint64_t>(
+                                    cfg.requests_per_client) +
+                            static_cast<uint64_t>(k);
+        RequestPtr r = make(id);
+        std::future<void> done = r->done.get_future();
+        if (!server.submit(r)) continue;  // shed; keep offering load
+        done.wait();
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  return completed.load();
+}
+
+int64_t run_open_loop(Server& server, const RequestFactory& make,
+                      const OpenLoopConfig& cfg) {
+  using clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / std::max(1e-9, cfg.rate_rps)));
+  std::vector<std::future<void>> inflight;
+  inflight.reserve(static_cast<size_t>(cfg.total_requests));
+  auto next = clock::now();
+  for (int i = 0; i < cfg.total_requests; ++i) {
+    std::this_thread::sleep_until(next);
+    next += interval;
+    RequestPtr r = make(static_cast<uint64_t>(i));
+    std::future<void> done = r->done.get_future();
+    if (server.submit(r)) inflight.push_back(std::move(done));
+  }
+  for (std::future<void>& f : inflight) f.wait();
+  return static_cast<int64_t>(inflight.size());
+}
+
+}  // namespace pf::serve

@@ -1,0 +1,105 @@
+// The inference server: N worker loops on the existing runtime thread pool
+// pulling dynamic batches from a Batcher and driving one shared Engine,
+// plus the closed-loop / open-loop load generators the serving benches use.
+//
+// Worker model: Server::start() launches one dispatcher std::thread whose
+// only job is to issue a single runtime::parallel_for over the worker ids.
+// Each chunk IS a worker loop, so the serving workers are literally the
+// thread pool's threads (chunk i -> pool worker i; the dispatcher itself
+// doubles as worker 0, exactly like every kernel dispatch). Consequences,
+// all intentional:
+//  * worker count is clamped to runtime::threads() -- a pool thread runs
+//    its chunks sequentially, so a second blocking loop queued behind a
+//    first would never start;
+//  * while the server runs, the pool's dispatch slot is occupied, so GEMMs
+//    inside worker loops (and any parallel_for from client threads) take
+//    the deterministic inline-serial path: parallelism comes from
+//    *requests*, not from splitting one request's kernels;
+//  * runtime::set_threads() must not be called while a server is running
+//    (it blocks on the dispatch slot until stop()).
+//
+// Lifecycle: submit() is safe from any thread; stop() stops admission,
+// drains the queue, and joins. Rejected requests are never fulfilled --
+// the submit() return value is the rejection signal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "metrics/serve_stats.h"
+#include "serve/batcher.h"
+#include "serve/frozen.h"
+
+namespace pf::serve {
+
+struct ServerConfig {
+  int workers = 2;  // desired; clamped to runtime::threads() at start()
+  BatcherConfig batcher;
+};
+
+class Server {
+ public:
+  // `stats` may be null (no recording). The engine must outlive the server
+  // and, for >1 worker, should be primed before traffic arrives.
+  Server(Engine& engine, const ServerConfig& cfg,
+         metrics::ServeStats* stats = nullptr);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  void stop();  // idempotent: drain, join, stop recording
+
+  // Enqueue a request. Returns false when the admission policy rejects it
+  // (bounded queue full, or server stopped); rejected requests' promises
+  // are never fulfilled.
+  bool submit(const RequestPtr& r);
+
+  // Workers actually running (post-clamp); 0 before start().
+  int workers() const { return workers_running_; }
+  int64_t queue_depth() const { return batcher_.depth(); }
+
+ private:
+  void worker_loop();
+
+  Engine& engine_;
+  ServerConfig cfg_;
+  metrics::ServeStats* stats_;
+  Batcher batcher_;
+  std::thread dispatcher_;
+  std::atomic<bool> started_{false};
+  int workers_running_ = 0;
+};
+
+// ---------------- Load generators ----------------
+
+// Builds the i-th request (deterministic in `id` so runs are reproducible).
+using RequestFactory = std::function<RequestPtr(uint64_t id)>;
+
+struct ClosedLoopConfig {
+  int clients = 4;              // concurrent clients, each with 0 think time
+  int requests_per_client = 32;
+};
+
+// Closed loop: each client submits one request, waits for the response,
+// then immediately submits the next -- throughput is offered-load-limited
+// by the service rate (the classic "N outstanding requests" benchmark).
+// Returns the number of completed (non-rejected) requests.
+int64_t run_closed_loop(Server& server, const RequestFactory& make,
+                        const ClosedLoopConfig& cfg);
+
+struct OpenLoopConfig {
+  double rate_rps = 200;    // fixed arrival rate, independent of service
+  int total_requests = 256;
+};
+
+// Open loop: arrivals at a fixed rate whether or not the server keeps up,
+// so queueing delay and admission rejects become visible (this is the
+// arrival model SLO percentiles are defined against). Waits for all
+// accepted requests before returning; returns the number completed.
+int64_t run_open_loop(Server& server, const RequestFactory& make,
+                      const OpenLoopConfig& cfg);
+
+}  // namespace pf::serve

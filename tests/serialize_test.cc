@@ -90,6 +90,90 @@ TEST(Checkpoint, RejectsCorruptFiles) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, LegacyVersion0FilesStillLoad) {
+  // Files written before the format-version byte existed must keep loading.
+  Rng rng(6);
+  Linear a(8, 8, rng);
+  const std::string path = tmp_path("ckpt_v0.bin");
+  save_checkpoint(a, path, /*version=*/0);
+
+  // A v0 file starts with the legacy magic, not the v1 magic.
+  {
+    std::ifstream is(path, std::ios::binary);
+    uint64_t magic = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    ASSERT_TRUE(is.good());
+    EXPECT_EQ(magic, kCheckpointMagicV0);
+  }
+
+  Rng rng2(60);
+  Linear b(8, 8, rng2);
+  ASSERT_FALSE(allclose(a.flat_params(), b.flat_params()));
+  load_checkpoint(b, path);
+  EXPECT_TRUE(allclose(a.flat_params(), b.flat_params(), 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ChecksumDetectsPayloadBitFlip) {
+  Rng rng(7);
+  Linear a(16, 16, rng);
+  const std::string path = tmp_path("ckpt_bitflip.bin");
+  save_checkpoint(a, path);  // v1: magic | version | checksum | len | payload
+
+  // Flip one bit in the middle of the payload. A v0-style loader would
+  // happily parse this into silently-wrong weights; v1 must refuse.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(f.tellg());
+    const int64_t victim = size / 2;
+    f.seekg(victim);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(victim);
+    f.write(&byte, 1);
+  }
+  Linear b(16, 16, rng);
+  try {
+    load_checkpoint(b, path);
+    FAIL() << "corrupted checkpoint loaded without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << "unexpected error: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, V1RoundTripPreservesParamsAndBuffers) {
+  Rng rng(8);
+  models::ResNetCifarConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.first_lowrank_block = 2;  // hybrid: exercise factor shapes too
+  models::ResNet18Cifar a(cfg, rng);
+  a.train(true);
+  a.forward(ag::leaf(rng.randn(Shape{2, 3, 8, 8})));
+
+  const std::string path = tmp_path("ckpt_v1_roundtrip.bin");
+  save_checkpoint(a, path);
+  {
+    std::ifstream is(path, std::ios::binary);
+    uint64_t magic = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    EXPECT_EQ(magic, kCheckpointMagicV1);
+  }
+  Rng rng2(80);
+  models::ResNet18Cifar b(cfg, rng2);
+  load_checkpoint(b, path);
+  EXPECT_TRUE(allclose(a.flat_params(), b.flat_params(), 0.0f, 0.0f));
+  a.train(false);
+  b.train(false);
+  Tensor x = rng.randn(Shape{2, 3, 8, 8});
+  EXPECT_TRUE(allclose(a.forward(ag::leaf(x))->value,
+                       b.forward(ag::leaf(x))->value, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, TruncatedFileThrows) {
   Rng rng(5);
   Linear l(32, 32, rng);

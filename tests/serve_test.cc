@@ -1,0 +1,434 @@
+// Serving subsystem tests: batcher flush/admission semantics, frozen-engine
+// bitwise equivalence with module eval forwards, zero-allocation steady
+// state, and end-to-end concurrent-client determinism. The whole file also
+// runs under PF_THREADS=4 (ctest pf_tests_threads4) and ThreadSanitizer
+// (ctest pf_tests_tsan), which is where the "engines are read-only after
+// prime()" contract is actually enforced.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/eval.h"
+#include "metrics/metrics.h"
+#include "metrics/serve_stats.h"
+#include "models/resnet.h"
+#include "nn/serialize.h"
+#include "runtime/buffer_pool.h"
+
+namespace pf::serve {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::unique_ptr<nn::UnaryModule> tiny_resnet(uint64_t seed,
+                                             int first_lowrank = 0) {
+  Rng rng(seed);
+  models::ResNetCifarConfig cfg;
+  cfg.width_mult = 0.0625;
+  cfg.first_lowrank_block = first_lowrank;
+  return std::make_unique<models::ResNet18Cifar>(cfg, rng);
+}
+
+std::unique_ptr<models::LstmLm> tiny_lstm(uint64_t seed, int64_t rank = 0) {
+  Rng rng(seed);
+  models::LstmLmConfig cfg = models::LstmLmConfig::tiny(rank);
+  cfg.vocab = 50;
+  cfg.hidden = 16;
+  return std::make_unique<models::LstmLm>(cfg, rng);
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// ---------------- Batcher ----------------
+
+TEST(Batcher, FlushesImmediatelyAtMaxBatch) {
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_ms = 10000;  // deadline must not be what flushes this
+  Batcher b(cfg);
+  for (uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(b.submit(make_request(i, Tensor::ones(Shape{2}))));
+  metrics::Timer t;
+  std::vector<RequestPtr> batch = b.next_batch();
+  EXPECT_LT(t.seconds(), 1.0);  // no deadline wait
+  ASSERT_EQ(batch.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i]->id, i);
+  EXPECT_EQ(b.depth(), 0);
+}
+
+TEST(Batcher, FlushesPartialBatchAtDeadline) {
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.deadline_ms = 30;
+  Batcher b(cfg);
+  ASSERT_TRUE(b.submit(make_request(0, Tensor::ones(Shape{2}))));
+  ASSERT_TRUE(b.submit(make_request(1, Tensor::ones(Shape{2}))));
+  metrics::Timer t;
+  std::vector<RequestPtr> batch = b.next_batch();
+  const double waited = t.seconds();
+  ASSERT_EQ(batch.size(), 2u);
+  // The oldest request's deadline bounds the wait: the worker must have
+  // actually waited for peers (>= ~deadline, minus scheduling slop).
+  EXPECT_GE(waited, 0.02);
+}
+
+TEST(Batcher, ZeroDeadlineIsGreedy) {
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.deadline_ms = 0;
+  Batcher b(cfg);
+  ASSERT_TRUE(b.submit(make_request(0, Tensor::ones(Shape{2}))));
+  metrics::Timer t;
+  EXPECT_EQ(b.next_batch().size(), 1u);
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Batcher, RejectsBeyondBoundedDepth) {
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_ms = 10000;
+  cfg.max_depth = 3;
+  Batcher b(cfg);
+  EXPECT_TRUE(b.submit(make_request(0, Tensor::ones(Shape{2}))));
+  EXPECT_TRUE(b.submit(make_request(1, Tensor::ones(Shape{2}))));
+  EXPECT_TRUE(b.submit(make_request(2, Tensor::ones(Shape{2}))));
+  EXPECT_FALSE(b.submit(make_request(3, Tensor::ones(Shape{2}))));
+  EXPECT_EQ(b.depth(), 3);
+  b.shutdown();
+  EXPECT_FALSE(b.submit(make_request(4, Tensor::ones(Shape{2}))));
+  // Drain semantics: queued work is still handed out after shutdown...
+  EXPECT_EQ(b.next_batch().size(), 3u);
+  // ...and only then do workers see the exit signal.
+  EXPECT_TRUE(b.next_batch().empty());
+}
+
+TEST(Batcher, ShutdownWakesBlockedWorker) {
+  BatcherConfig cfg;
+  cfg.deadline_ms = 10000;
+  Batcher b(cfg);
+  std::thread worker([&] { EXPECT_TRUE(b.next_batch().empty()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b.shutdown();
+  worker.join();
+}
+
+// ---------------- Frozen engines ----------------
+
+TEST(Frozen, VisionBitwiseIdenticalToModuleEvalForward) {
+  // Reference module: perturb BN stats with a train-mode forward, then
+  // checkpoint it.
+  auto ref = tiny_resnet(1);
+  Rng rng(7);
+  ref->train(true);
+  ref->forward(ag::leaf(rng.randn(Shape{2, 3, 8, 8})));
+  const std::string path = tmp_path("frozen_vision.ckpt");
+  nn::save_checkpoint(*ref, path);
+
+  // Module eval forward (the trainer's path).
+  Tensor x = rng.randn(Shape{3, 3, 8, 8});
+  core::EvalModeGuard eg(*ref);
+  Tensor want = core::eval_forward(*ref, x);
+
+  // Frozen artifact: differently seeded module + checkpoint load + packing.
+  FrozenModel frozen(tiny_resnet(999), "resnet18-test", path);
+  Tensor got = frozen.forward(x);
+  EXPECT_TRUE(bitwise_equal(want, got));
+  EXPECT_EQ(frozen.num_params(), ref->num_params());
+  std::remove(path.c_str());
+}
+
+TEST(Frozen, HybridLowRankBitwiseIdentical) {
+  auto ref = tiny_resnet(2, /*first_lowrank=*/2);
+  const std::string path = tmp_path("frozen_hybrid.ckpt");
+  nn::save_checkpoint(*ref, path);
+  Rng rng(11);
+  Tensor x = rng.randn(Shape{2, 3, 8, 8});
+  core::EvalModeGuard eg(*ref);
+  Tensor want = core::eval_forward(*ref, x);
+  FrozenModel frozen(tiny_resnet(998, 2), "hybrid-test", path);
+  EXPECT_TRUE(bitwise_equal(want, frozen.forward(x)));
+  std::remove(path.c_str());
+}
+
+TEST(Frozen, LstmBitwiseIdenticalToModuleEvalForward) {
+  auto ref = tiny_lstm(3, /*rank=*/4);
+  const std::string path = tmp_path("frozen_lstm.ckpt");
+  nn::save_checkpoint(*ref, path);
+
+  const int64_t t = 6, b = 3;
+  std::vector<int64_t> ids(static_cast<size_t>(t * b));
+  Rng rng(13);
+  for (auto& id : ids) id = rng.uniform_int(50);
+
+  core::EvalModeGuard eg(*ref);
+  Tensor want = core::eval_forward_lm(*ref, ids, t, b, nullptr);
+  FrozenLstm frozen(tiny_lstm(997, 4), t, "lstm-test", path);
+  EXPECT_TRUE(bitwise_equal(want, frozen.forward(ids, t, b)));
+  std::remove(path.c_str());
+}
+
+TEST(Frozen, PackedArenaBacksParameters) {
+  FrozenModel frozen(tiny_resnet(4), "packed-test");
+  // The packed artifact is one contiguous float block covering every param.
+  EXPECT_EQ(frozen.packed_bytes(),
+            frozen.num_params() * static_cast<int64_t>(sizeof(float)));
+  auto params = frozen.module().parameters();
+  int64_t shared = 0;
+  for (nn::Param* p : params) {
+    EXPECT_FALSE(p->var->requires_grad);
+    if (p->var->value.storage_refcount() > 1) ++shared;
+  }
+  // Every parameter is a view into the shared arena.
+  EXPECT_EQ(shared, static_cast<int64_t>(params.size()));
+  EXPECT_FALSE(frozen.module().is_training());
+}
+
+TEST(Frozen, SteadyStateServesWithZeroSysAllocs) {
+  if (!runtime::BufferPool::instance().enabled())
+    GTEST_SKIP() << "buffer pool disabled (PF_POOL_DISABLE)";
+  FrozenModel frozen(tiny_resnet(5), "alloc-test");
+  frozen.prime(Shape{3, 8, 8}, 4);
+  Rng rng(17);
+  Tensor x = rng.randn(Shape{4, 3, 8, 8});
+  frozen.forward(x);  // one more warm pass with the real input resident
+  metrics::reset_alloc_stats(false);
+  for (int i = 0; i < 20; ++i) frozen.forward(x);
+  const metrics::AllocStats s = metrics::alloc_stats();
+  EXPECT_EQ(s.sys_allocs, 0u) << "steady-state request hit the system "
+                                 "allocator";
+  EXPECT_EQ(s.cow_unshares, 0u) << "steady-state request paid a COW copy";
+  EXPECT_GT(s.allocations, 0u);  // it did run, all from the free lists
+}
+
+// ---------------- Server ----------------
+
+// Engine stub whose forward blocks on a gate; used to pin requests in the
+// queue deterministically.
+class GateEngine : public Engine {
+ public:
+  GateEngine() : gate_open_(gate_.get_future().share()) {}
+  std::string name() const override { return "gate"; }
+  void forward_batch(const std::vector<RequestPtr>& reqs) override {
+    if (!started_flag_.exchange(true)) started_.set_value();
+    gate_open_.wait();
+    for (const RequestPtr& r : reqs) r->output = Tensor::ones(Shape{1});
+  }
+  std::future<void> started() { return started_.get_future(); }
+  void open() { gate_.set_value(); }
+
+ private:
+  std::promise<void> started_;
+  std::atomic<bool> started_flag_{false};
+  std::promise<void> gate_;
+  std::shared_future<void> gate_open_;
+};
+
+TEST(Server, AdmissionRejectsWhenQueueFull) {
+  GateEngine engine;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batcher.max_batch = 1;
+  cfg.batcher.deadline_ms = 0;
+  cfg.batcher.max_depth = 2;
+  metrics::ServeStats stats;
+  stats.begin();
+  Server server(engine, cfg, &stats);
+  server.start();
+
+  auto r1 = make_request(1, Tensor::ones(Shape{1}));
+  ASSERT_TRUE(server.submit(r1));
+  engine.started().wait();  // the single worker now holds r1, queue empty
+
+  ASSERT_TRUE(server.submit(make_request(2, Tensor::ones(Shape{1}))));
+  ASSERT_TRUE(server.submit(make_request(3, Tensor::ones(Shape{1}))));
+  EXPECT_FALSE(server.submit(make_request(4, Tensor::ones(Shape{1}))));
+
+  engine.open();
+  server.stop();
+  const metrics::ServeReport rep = stats.report();
+  EXPECT_EQ(rep.submitted, 3u);
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_EQ(rep.completed, 3u);  // drain: queued work finished on stop()
+}
+
+TEST(Server, ConcurrentClientsGetBitwiseDeterministicResults) {
+  // Per-request results must not depend on which batch a request landed in,
+  // which worker served it, or what else was in flight. Serve a frozen
+  // ResNet to 4 hammering clients, then check every response against the
+  // solo single-request forward.
+  FrozenModel frozen(tiny_resnet(6), "det-test");
+  frozen.prime(Shape{3, 8, 8}, 4);
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.deadline_ms = 1.0;
+  metrics::ServeStats stats;
+  stats.begin();
+  Server server(frozen, cfg, &stats);
+  server.start();
+
+  constexpr int kClients = 4, kPerClient = 8;
+  // Deterministic per-request inputs, generated up front.
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    Rng rng(1000 + static_cast<uint64_t>(i));
+    inputs.push_back(rng.randn(Shape{3, 8, 8}));
+  }
+  std::vector<Tensor> outputs(inputs.size());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int k = 0; k < kPerClient; ++k) {
+        const size_t i = static_cast<size_t>(c * kPerClient + k);
+        RequestPtr r = make_request(i, inputs[i]);
+        std::future<void> done = r->done.get_future();
+        ASSERT_TRUE(server.submit(r));
+        done.wait();
+        outputs[i] = r->output;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor solo = frozen.forward(inputs[i].reshape(Shape{1, 3, 8, 8}))
+                      .reshape(Shape{outputs[i].numel()});
+    EXPECT_TRUE(bitwise_equal(solo, outputs[i])) << "request " << i;
+  }
+  const metrics::ServeReport rep = stats.report();
+  EXPECT_EQ(rep.completed, static_cast<uint64_t>(inputs.size()));
+  EXPECT_EQ(rep.rejected, 0u);
+  EXPECT_GE(rep.mean_batch, 1.0);
+}
+
+TEST(Server, ClosedLoopLoadGenCompletesAll) {
+  FrozenLstm frozen(tiny_lstm(8), 5, "lstm-serve");
+  frozen.prime(4);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.deadline_ms = 0.5;
+  metrics::ServeStats stats;
+  stats.begin();
+  Server server(frozen, cfg, &stats);
+  server.start();
+
+  ClosedLoopConfig lg;
+  lg.clients = 3;
+  lg.requests_per_client = 6;
+  const int64_t done = run_closed_loop(
+      server,
+      [](uint64_t id) {
+        Rng rng(id);
+        std::vector<int64_t> toks(5);
+        for (auto& t : toks) t = rng.uniform_int(50);
+        return make_request(id, std::move(toks));
+      },
+      lg);
+  server.stop();
+  EXPECT_EQ(done, 18);
+  const metrics::ServeReport rep = stats.report();
+  EXPECT_EQ(rep.completed, 18u);
+  EXPECT_GT(rep.throughput_rps, 0.0);
+  EXPECT_GT(rep.p99_ms, 0.0);
+  EXPECT_GE(rep.p99_ms, rep.p50_ms);
+  // Histogram accounts for every completed request.
+  uint64_t hist_total = 0;
+  for (size_t s = 0; s < rep.batch_hist.size(); ++s)
+    hist_total += rep.batch_hist[s] * static_cast<uint64_t>(s);
+  EXPECT_EQ(hist_total, rep.completed);
+}
+
+TEST(Server, OpenLoopLoadGenRespectsAdmission) {
+  FrozenModel frozen(tiny_resnet(9), "open-loop");
+  frozen.prime(Shape{3, 8, 8}, 8);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.deadline_ms = 1.0;
+  cfg.batcher.max_depth = 64;
+  metrics::ServeStats stats;
+  stats.begin();
+  Server server(frozen, cfg, &stats);
+  server.start();
+
+  OpenLoopConfig lg;
+  lg.rate_rps = 2000;  // deliberately above service rate at this size
+  lg.total_requests = 64;
+  const int64_t done = run_open_loop(
+      server,
+      [](uint64_t id) {
+        Rng rng(id + 31);
+        return make_request(id, rng.randn(Shape{3, 8, 8}));
+      },
+      lg);
+  server.stop();
+  const metrics::ServeReport rep = stats.report();
+  EXPECT_EQ(static_cast<uint64_t>(done), rep.completed);
+  EXPECT_EQ(rep.submitted + rep.rejected, 64u);
+  EXPECT_GT(rep.mean_batch, 1.0);  // the backlog actually batched
+}
+
+// ---------------- ServeStats / Reservoir ----------------
+
+TEST(ServeStats, ReservoirExactQuantilesBelowCapacity) {
+  metrics::Reservoir res(4096);
+  for (int i = 1; i <= 1000; ++i) res.add(i);
+  EXPECT_EQ(res.count(), 1000);
+  EXPECT_DOUBLE_EQ(res.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(res.quantile(1.0), 1000.0);
+  EXPECT_NEAR(res.quantile(0.5), 500.0, 1.0);
+  EXPECT_NEAR(res.quantile(0.99), 990.0, 1.0);
+  EXPECT_DOUBLE_EQ(res.max_seen(), 1000.0);
+  EXPECT_NEAR(res.mean(), 500.5, 1e-9);
+}
+
+TEST(ServeStats, ReservoirEvictionStaysInRange) {
+  metrics::Reservoir res(64);
+  for (int i = 1; i <= 10000; ++i) res.add(i);
+  EXPECT_EQ(res.count(), 10000);
+  const double p50 = res.quantile(0.5);
+  EXPECT_GT(p50, 2000.0);  // a uniform sample cannot collapse to the head
+  EXPECT_LT(p50, 8000.0);
+  EXPECT_DOUBLE_EQ(res.max_seen(), 10000.0);
+}
+
+TEST(ServeStats, ReportAggregates) {
+  metrics::ServeStats stats;
+  stats.begin();
+  for (int i = 0; i < 10; ++i) stats.record_submit();
+  stats.record_reject();
+  stats.record_batch(4, 2);
+  stats.record_batch(6, 0);
+  for (int i = 0; i < 10; ++i) stats.record_done(1.0 + i);
+  const metrics::ServeReport r = stats.report();
+  EXPECT_EQ(r.submitted, 10u);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.completed, 10u);
+  EXPECT_EQ(r.batches, 2u);
+  EXPECT_DOUBLE_EQ(r.mean_batch, 5.0);
+  EXPECT_DOUBLE_EQ(r.mean_depth, 1.0);
+  EXPECT_EQ(r.max_depth, 2);
+  ASSERT_EQ(r.batch_hist.size(), 7u);
+  EXPECT_EQ(r.batch_hist[4], 1u);
+  EXPECT_EQ(r.batch_hist[6], 1u);
+  EXPECT_GT(r.elapsed_s, 0.0);
+  EXPECT_FALSE(r.summary().empty());
+}
+
+}  // namespace
+}  // namespace pf::serve
