@@ -1,0 +1,243 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/fault.h"
+#include "nn/serialize.h"
+
+namespace pf::core {
+
+namespace {
+
+// On-disk magic for TrainState files ("PUFFTST1").
+constexpr uint64_t kTrainStateMagic = 0x5055464654535431ull;
+
+void put_u64(std::vector<char>& buf, uint64_t v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(v));
+}
+
+void put_f64(std::vector<char>& buf, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(buf, bits);
+}
+
+void put_rng(std::vector<char>& buf, const Rng::State& st) {
+  for (uint64_t w : st.s) put_u64(buf, w);
+  put_u64(buf, st.has_cached ? 1 : 0);
+  put_f64(buf, st.cached);
+}
+
+struct Reader {
+  const char* p;
+  size_t left;
+  uint64_t u64() {
+    if (left < sizeof(uint64_t))
+      throw std::runtime_error("train state: truncated payload");
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    p += sizeof(v);
+    left -= sizeof(v);
+    return v;
+  }
+  double f64() {
+    const uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Rng::State rng() {
+    Rng::State st;
+    for (uint64_t& w : st.s) w = u64();
+    st.has_cached = u64() != 0;
+    st.cached = f64();
+    return st;
+  }
+  void floats(float* dst, size_t n) {
+    const size_t bytes = n * sizeof(float);
+    if (left < bytes)
+      throw std::runtime_error("train state: truncated tensor data");
+    std::memcpy(dst, p, bytes);
+    p += bytes;
+    left -= bytes;
+  }
+};
+
+void hash_tensors(nn::Module& m, uint64_t& h) {
+  auto mix = [&h](const Tensor& t) {
+    // Chain FNV over each tensor's bytes; seeding with the running hash
+    // keeps tensor boundaries significant.
+    const char* p = reinterpret_cast<const char*>(
+        std::as_const(t).data());
+    const size_t n = static_cast<size_t>(t.numel()) * sizeof(float);
+    h ^= nn::fnv1a(p, n);
+    h *= 0x100000001B3ull;
+  };
+  for (nn::Param& p : m.local_params()) mix(p.var->value);
+  for (nn::Buffer& b : m.local_buffers()) mix(b.value);
+  for (nn::Module* c : m.children()) hash_tensors(*c, h);
+}
+
+}  // namespace
+
+uint64_t hash_model(nn::Module& model) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  hash_tensors(model, h);
+  return h;
+}
+
+void capture_optimizer(optim::Optimizer& opt, TrainState& st) {
+  st.opt_scalars = opt.state_scalars();
+  st.opt_tensors.clear();
+  for (Tensor* t : opt.state_tensors()) {
+    // Deep copy: the optimizer keeps mutating its buffers after the
+    // snapshot is taken.
+    Tensor copy = Tensor::uninit(t->shape());
+    std::memcpy(copy.data(), std::as_const(*t).data(),
+                static_cast<size_t>(t->numel()) * sizeof(float));
+    st.opt_tensors.push_back(std::move(copy));
+  }
+}
+
+void restore_optimizer(optim::Optimizer& opt, const TrainState& st) {
+  std::vector<Tensor*> slots = opt.state_tensors();
+  if (slots.size() != st.opt_tensors.size())
+    throw std::runtime_error(
+        "train state: optimizer slot count mismatch (snapshot " +
+        std::to_string(st.opt_tensors.size()) + ", optimizer " +
+        std::to_string(slots.size()) + ") -- resuming with a different "
+        "optimizer configuration than the one that produced the snapshot");
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i]->shape() != st.opt_tensors[i].shape())
+      throw std::runtime_error("train state: optimizer slot shape mismatch");
+    std::memcpy(slots[i]->data(), std::as_const(st.opt_tensors[i]).data(),
+                static_cast<size_t>(slots[i]->numel()) * sizeof(float));
+  }
+  opt.set_state_scalars(st.opt_scalars);
+}
+
+void save_train_state(const TrainState& st, const std::string& path) {
+  std::vector<char> payload;
+  put_u64(payload, static_cast<uint64_t>(st.next_epoch));
+  put_u64(payload, static_cast<uint64_t>(st.global_step));
+  put_u64(payload, st.low_rank_phase ? 1 : 0);
+  put_f64(payload, st.svd_seconds);
+  put_f64(payload, st.cumulative_seconds);
+  for (uint64_t w : st.policy) put_u64(payload, w);
+  put_u64(payload, st.model_hash);
+  put_rng(payload, st.rng);
+  put_u64(payload, st.worker_rngs.size());
+  for (const Rng::State& r : st.worker_rngs) put_rng(payload, r);
+  put_u64(payload, st.opt_scalars.size());
+  for (int64_t s : st.opt_scalars) put_u64(payload, static_cast<uint64_t>(s));
+  put_u64(payload, st.opt_tensors.size());
+  for (const Tensor& t : st.opt_tensors) {
+    put_u64(payload, static_cast<uint64_t>(t.dim()));
+    for (int64_t d = 0; d < t.dim(); ++d)
+      put_u64(payload, static_cast<uint64_t>(t.size(d)));
+    const char* data = reinterpret_cast<const char*>(t.data());
+    payload.insert(payload.end(), data,
+                   data + static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+
+  nn::atomic_write(path, [&](std::ofstream& os) {
+    auto write_u64 = [&os](uint64_t v) {
+      fault::on_write_bytes(sizeof(v));
+      os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    write_u64(kTrainStateMagic);
+    write_u64(nn::fnv1a(payload.data(), payload.size()));
+    write_u64(payload.size());
+    fault::on_write_bytes(static_cast<int64_t>(payload.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  });
+}
+
+TrainState load_train_state(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("train state: cannot open " + path);
+  auto read_u64 = [&is, &path]() {
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is) throw std::runtime_error("train state: truncated file " + path);
+    return v;
+  };
+  if (read_u64() != kTrainStateMagic)
+    throw std::runtime_error("train state: bad magic in " + path);
+  const uint64_t checksum = read_u64();
+  const uint64_t payload_bytes = read_u64();
+  std::vector<char> payload(payload_bytes);
+  is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (!is || static_cast<uint64_t>(is.gcount()) != payload_bytes)
+    throw std::runtime_error("train state: truncated payload in " + path);
+  if (nn::fnv1a(payload.data(), payload.size()) != checksum)
+    throw std::runtime_error("train state: checksum mismatch in " + path +
+                             " (corrupt or truncated snapshot)");
+
+  Reader r{payload.data(), payload.size()};
+  TrainState st;
+  st.next_epoch = static_cast<int64_t>(r.u64());
+  st.global_step = static_cast<int64_t>(r.u64());
+  st.low_rank_phase = r.u64() != 0;
+  st.svd_seconds = r.f64();
+  st.cumulative_seconds = r.f64();
+  for (uint64_t& w : st.policy) w = r.u64();
+  st.model_hash = r.u64();
+  st.rng = r.rng();
+  const uint64_t n_workers = r.u64();
+  st.worker_rngs.reserve(n_workers);
+  for (uint64_t i = 0; i < n_workers; ++i) st.worker_rngs.push_back(r.rng());
+  const uint64_t n_scalars = r.u64();
+  st.opt_scalars.reserve(n_scalars);
+  for (uint64_t i = 0; i < n_scalars; ++i)
+    st.opt_scalars.push_back(static_cast<int64_t>(r.u64()));
+  const uint64_t n_tensors = r.u64();
+  st.opt_tensors.reserve(n_tensors);
+  for (uint64_t i = 0; i < n_tensors; ++i) {
+    const uint64_t dim = r.u64();
+    Shape shape(dim);
+    for (uint64_t d = 0; d < dim; ++d)
+      shape[d] = static_cast<int64_t>(r.u64());
+    Tensor t = Tensor::uninit(std::move(shape));
+    r.floats(t.data(), static_cast<size_t>(t.numel()));
+    st.opt_tensors.push_back(std::move(t));
+  }
+  return st;
+}
+
+SnapshotPaths snapshot_paths(const std::string& dir) {
+  return {dir + "/model.ckpt", dir + "/state.ckpt"};
+}
+
+bool snapshot_exists(const std::string& dir) {
+  const SnapshotPaths p = snapshot_paths(dir);
+  return std::filesystem::exists(p.model) && std::filesystem::exists(p.state);
+}
+
+void save_snapshot(nn::Module& model, TrainState st, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const SnapshotPaths p = snapshot_paths(dir);
+  st.model_hash = hash_model(model);
+  nn::save_checkpoint(model, p.model);
+  save_train_state(st, p.state);
+}
+
+TrainState load_snapshot(nn::Module& model, const std::string& dir) {
+  const SnapshotPaths p = snapshot_paths(dir);
+  TrainState st = load_train_state(p.state);
+  nn::load_checkpoint(model, p.model);
+  if (hash_model(model) != st.model_hash)
+    throw std::runtime_error(
+        "train state: torn snapshot in " + dir +
+        " (weights and state are from different epochs -- the writer "
+        "crashed between the two files); restart from scratch or an older "
+        "snapshot");
+  return st;
+}
+
+}  // namespace pf::core

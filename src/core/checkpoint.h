@@ -1,0 +1,88 @@
+// Full training-state snapshots: everything beyond the weights that a
+// resumed run needs to continue bitwise-identically to an uninterrupted one.
+//
+// A Pufferfish run is deterministic given (seed, config): data order is a
+// pure function of the epoch index, kernels are bitwise-reproducible at any
+// PF_THREADS, and all randomness flows through Rng. So a snapshot taken at
+// an epoch boundary only needs to capture the state that *evolves* across
+// the boundary:
+//
+//   * schedule position (next epoch, global step),
+//   * the factorization phase (vanilla pre-SVD vs hybrid post-SVD) plus the
+//     encoded rank policy, so resuming under a different policy fails
+//     loudly instead of fine-tuning the wrong hybrid,
+//   * optimizer slot buffers (SGD velocity / Adam moments + step count),
+//   * the exact Rng stream state(s) -- including the cached Box-Muller pair
+//     -- so the warm-up -> SVD switch draws the same randomness whether or
+//     not the run was interrupted.
+//
+// Snapshots are written with the same guarantees as weight checkpoints:
+// FNV-1a checksummed payload, temp-file + rename (nn/serialize's
+// atomic_write), so a crash mid-snapshot never destroys the previous one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rank_policy.h"
+#include "nn/module.h"
+#include "optim/optim.h"
+#include "tensor/rng.h"
+
+namespace pf::core {
+
+struct TrainState {
+  int64_t next_epoch = 0;   // first epoch the resumed run must execute
+  int64_t global_step = 0;  // mini-batches completed (shm cluster fault plans)
+  bool low_rank_phase = false;  // vanilla (pre-SVD) vs hybrid (post-SVD)
+  double svd_seconds = 0;       // one-time factorization cost already paid
+  double cumulative_seconds = 0;  // wall/sim clock carried across the crash
+  std::array<uint64_t, 3> policy = {0, 0, 0};  // RankPolicy::encode()
+
+  Rng::State rng{};  // the harness's primary stream at the epoch boundary
+  std::vector<Rng::State> worker_rngs;  // per-worker streams (shm cluster)
+
+  std::vector<int64_t> opt_scalars;  // optimizer integer state (Adam's t)
+  std::vector<Tensor> opt_tensors;   // optimizer slot buffers, stable order
+
+  // FNV-1a over the model's parameter and buffer bytes at snapshot time.
+  // Stamped by save_snapshot, verified by load_snapshot: a crash between
+  // the model write and the state write leaves a detectably "torn" pair
+  // (new weights, old state) instead of a silently wrong resume.
+  uint64_t model_hash = 0;
+};
+
+// FNV-1a over every parameter and buffer tensor of `model` (depth-first,
+// the checkpoint order).
+uint64_t hash_model(nn::Module& model);
+
+// Snapshot / restore the optimizer part of the state. restore throws when
+// the snapshot's slot count or shapes do not match `opt` (resuming with a
+// different optimizer configuration than the one that produced it).
+void capture_optimizer(optim::Optimizer& opt, TrainState& st);
+void restore_optimizer(optim::Optimizer& opt, const TrainState& st);
+
+// Atomic, checksummed TrainState file ("PUFFTST1"). load throws on I/O
+// failure, bad magic, truncation, or checksum mismatch.
+void save_train_state(const TrainState& st, const std::string& path);
+TrainState load_train_state(const std::string& path);
+
+// One training snapshot = weights + state under one directory.
+struct SnapshotPaths {
+  std::string model;  // <dir>/model.ckpt   (nn::save_checkpoint v1)
+  std::string state;  // <dir>/state.ckpt   (save_train_state)
+};
+SnapshotPaths snapshot_paths(const std::string& dir);
+bool snapshot_exists(const std::string& dir);
+
+// Writes both files (creating `dir` if needed), stamping st.model_hash so
+// the pair is verifiable. Each file individually is crash-safe (atomic
+// rename); a crash *between* the two writes is caught at load time by the
+// hash check.
+void save_snapshot(nn::Module& model, TrainState st, const std::string& dir);
+
+// Loads the weights into `model` and returns the verified TrainState.
+// Throws on any corruption, including a torn pair (model_hash mismatch).
+TrainState load_snapshot(nn::Module& model, const std::string& dir);
+
+}  // namespace pf::core

@@ -1,10 +1,37 @@
 #include "core/rank_policy.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/factorize.h"
 
 namespace pf::core {
+
+std::array<uint64_t, 3> RankPolicy::encode() const {
+  const double knob = kind == Kind::kFixedRatio ? ratio : energy;
+  return {static_cast<uint64_t>(kind), std::bit_cast<uint64_t>(knob),
+          static_cast<uint64_t>(min_rank)};
+}
+
+RankPolicy RankPolicy::decode(const std::array<uint64_t, 3>& words) {
+  RankPolicy p;
+  p.kind = static_cast<Kind>(words[0]);
+  const double knob = std::bit_cast<double>(words[1]);
+  if (p.kind == Kind::kFixedRatio)
+    p.ratio = knob;
+  else
+    p.energy = knob;
+  p.min_rank = static_cast<int64_t>(words[2]);
+  return p;
+}
+
+bool operator==(const RankPolicy& a, const RankPolicy& b) {
+  if (a.kind != b.kind || a.min_rank != b.min_rank) return false;
+  // Only the active knob matters: fixed(0.25) with a stale energy field is
+  // still fixed(0.25).
+  return a.kind == RankPolicy::Kind::kFixedRatio ? a.ratio == b.ratio
+                                                 : a.energy == b.energy;
+}
 
 int64_t RankPolicy::rank_for(const Tensor& unrolled_weight) const {
   const int64_t full =

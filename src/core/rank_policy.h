@@ -10,6 +10,8 @@
 // ablation bench prints.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,7 +44,20 @@ struct RankPolicy {
   // kFixedRatio ignores the values and uses only the shape; kEnergy
   // inspects the spectrum.
   int64_t rank_for(const Tensor& unrolled_weight) const;
+
+  // Stable on-disk encoding (kind word, knob double-bits, min_rank), used
+  // by TrainState snapshots (core/checkpoint.h): a resumed run verifies it
+  // was handed the policy that produced the snapshot, because silently
+  // continuing a 0.25-ratio run under an energy policy would fine-tune a
+  // different hybrid than the one the snapshot's phase was planned for.
+  std::array<uint64_t, 3> encode() const;
+  static RankPolicy decode(const std::array<uint64_t, 3>& words);
 };
+
+bool operator==(const RankPolicy& a, const RankPolicy& b);
+inline bool operator!=(const RankPolicy& a, const RankPolicy& b) {
+  return !(a == b);
+}
 
 // One factorizable layer's planning entry.
 struct RankPlanEntry {

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <optional>
+#include <stdexcept>
 
 #include "core/amp.h"
+#include "core/checkpoint.h"
 #include "core/eval.h"
 #include "metrics/metrics.h"
 #include "optim/optim.h"
@@ -80,7 +82,38 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
   auto opt = std::make_unique<optim::SGD>(model->parameters(), cfg.lr,
                                           cfg.momentum, cfg.weight_decay);
   bool low_rank_phase = false;
-  if (make_hybrid && warmup == 0) {
+  int start_epoch = 0;
+  double carried_seconds = 0;
+
+  const bool resuming = cfg.resume && !cfg.checkpoint_dir.empty() &&
+                        snapshot_exists(cfg.checkpoint_dir);
+  if (resuming) {
+    // The snapshot owns every piece of evolving state. The factory calls
+    // here only donate the module tree's *shapes*; whatever they consumed
+    // from `rng` is undone when the snapshot's stream state is restored.
+    TrainState st =
+        load_train_state(snapshot_paths(cfg.checkpoint_dir).state);
+    if (RankPolicy::decode(st.policy) != cfg.rank_policy)
+      throw std::runtime_error(
+          "resume: snapshot was produced under a different rank policy; "
+          "continuing would fine-tune a different hybrid");
+    if (st.low_rank_phase) {
+      if (!make_hybrid)
+        throw std::runtime_error(
+            "resume: snapshot is in the low-rank phase but no hybrid "
+            "factory was given");
+      model = make_hybrid(rng);
+      opt = std::make_unique<optim::SGD>(model->parameters(), cfg.lr,
+                                         cfg.momentum, cfg.weight_decay);
+    }
+    st = load_snapshot(*model, cfg.checkpoint_dir);  // weights + torn check
+    restore_optimizer(*opt, st);
+    rng.set_state(st.rng);
+    low_rank_phase = st.low_rank_phase;
+    start_epoch = static_cast<int>(st.next_epoch);
+    out.svd_seconds = st.svd_seconds;
+    carried_seconds = st.cumulative_seconds;
+  } else if (make_hybrid && warmup == 0) {
     // Low-rank from scratch: no warm-up, fresh hybrid.
     model = make_hybrid(rng);
     opt = std::make_unique<optim::SGD>(model->parameters(), cfg.lr,
@@ -89,7 +122,7 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
     out.svd_seconds = 0;
   }
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < cfg.epochs; ++epoch) {
     if (make_hybrid && !low_rank_phase && epoch == warmup) {
       // Algorithm 1: factorize the partially trained vanilla weights.
       std::unique_ptr<nn::UnaryModule> hybrid = make_hybrid(rng);
@@ -111,9 +144,32 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
     out.final_acc = ev.acc;
     out.final_top5 = ev.top5;
     out.final_loss = ev.loss;
+
+    if (!cfg.checkpoint_dir.empty() &&
+        ((epoch + 1) % std::max(1, cfg.checkpoint_every) == 0 ||
+         epoch + 1 == cfg.epochs)) {
+      TrainState st;
+      st.next_epoch = epoch + 1;
+      st.low_rank_phase = low_rank_phase;
+      st.svd_seconds = out.svd_seconds;
+      st.cumulative_seconds = carried_seconds + total_timer.seconds();
+      st.policy = cfg.rank_policy.encode();
+      st.rng = rng.state();
+      capture_optimizer(*opt, st);
+      save_snapshot(*model, st, cfg.checkpoint_dir);
+    }
+  }
+  if (out.epochs.empty() && start_epoch >= cfg.epochs) {
+    // Resumed from a snapshot of an already-finished run: report its final
+    // quality instead of zeros.
+    const EvalResult ev =
+        evaluate_vision(*model, ds, cfg.batch, cfg.label_smoothing);
+    out.final_acc = ev.acc;
+    out.final_top5 = ev.top5;
+    out.final_loss = ev.loss;
   }
   out.params = model->num_params();
-  out.total_seconds = total_timer.seconds();
+  out.total_seconds = carried_seconds + total_timer.seconds();
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/factorize.h"
+#include "core/rank_policy.h"
 #include "data/synthetic.h"
 #include "models/lstm_lm.h"
 #include "models/transformer_mt.h"
@@ -41,6 +42,21 @@ struct VisionTrainConfig {
   // Compute-kernel threads for this run; 0 keeps the PF_THREADS env default
   // (see runtime/thread_pool.h).
   int threads = 0;
+
+  // Crash-safe checkpointing. When `checkpoint_dir` is non-empty the
+  // harness writes an atomic snapshot (weights + TrainState, see
+  // core/checkpoint.h) after every `checkpoint_every`-th epoch and after
+  // the final one. With `resume` also set, training continues from the
+  // snapshot in `checkpoint_dir` -- bitwise-identical to the uninterrupted
+  // run, at any PF_THREADS, across the warm-up -> SVD boundary -- and
+  // starts from scratch when no snapshot exists yet.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
+  // Recorded into snapshots and verified on resume: continuing a run under
+  // a different rank policy than the one that shaped its hybrid fails
+  // loudly. Purely metadata for the vanilla phase.
+  RankPolicy rank_policy;
 };
 
 struct EpochRecord {
@@ -61,7 +77,10 @@ struct VisionResult {
 };
 
 // Full Pufferfish run. If `make_hybrid` is null, trains the vanilla model
-// for all `epochs` (the vanilla baseline).
+// for all `epochs` (the vanilla baseline). With cfg.checkpoint_dir set this
+// is also `Trainer::resume`: cfg.resume continues from the directory's
+// snapshot, and the continuation is bitwise-identical to an uninterrupted
+// run (the resume-exact contract; see core/checkpoint.h).
 VisionResult train_vision(const VisionModelFactory& make_vanilla,
                           const VisionModelFactory& make_hybrid,
                           const data::SyntheticImages& ds,

@@ -316,7 +316,10 @@ SvdResult randomized_svd(const Tensor& a, int64_t rank, Rng& rng,
   check(a.dim() == 2, "randomized_svd: 2-D matrix required");
   const int64_t m = a.size(0), n = a.size(1);
   const int64_t full = std::min(m, n);
-  rank = std::min(rank, full);
+  // Same clamp as gram_svd: rank <= 0 means "full rank", and it also guards
+  // the sketch width below -- an unclamped rank <= 0 would request a
+  // zero/negative-column Omega.
+  if (rank <= 0 || rank > full) rank = full;
   const int64_t l = std::min(rank + oversample, full);
 
   // Range finder: Y = A * Omega, orthonormalize; power iterations sharpen the

@@ -48,6 +48,7 @@ SvdResult gram_svd(const Tensor& a, int64_t rank = -1);
 
 // Randomized truncated SVD (Halko et al.): Gaussian range finder with
 // `power_iters` subspace iterations and `oversample` extra columns.
+// rank <= 0 means full min(m, n), matching gram_svd.
 SvdResult randomized_svd(const Tensor& a, int64_t rank, Rng& rng,
                          int64_t oversample = 8, int power_iters = 1);
 

@@ -195,4 +195,19 @@ std::string fmt_alloc_stats(const AllocStats& s) {
   return os.str();
 }
 
+fault::FaultStats fault_stats() { return fault::stats(); }
+
+void reset_fault_stats() { fault::reset_stats(); }
+
+std::string fmt_fault_stats(const fault::FaultStats& s) {
+  std::ostringstream os;
+  os << "kills " << fmt_int(static_cast<int64_t>(s.injected_kills))
+     << " / delays " << fmt_int(static_cast<int64_t>(s.injected_delays))
+     << " / drops " << fmt_int(static_cast<int64_t>(s.dropped_requests))
+     << " / write-crashes " << fmt_int(static_cast<int64_t>(s.write_crashes))
+     << " | retries " << fmt_int(static_cast<int64_t>(s.retries))
+     << ", recoveries " << fmt_int(static_cast<int64_t>(s.recoveries));
+  return os.str();
+}
+
 }  // namespace pf::metrics

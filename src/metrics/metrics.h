@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "tensor/tensor.h"
 
 namespace pf::metrics {
@@ -80,5 +81,14 @@ AllocStats alloc_stats();
 void reset_alloc_stats(bool clear_pool = false);
 // One-line human-readable form: "allocs 1,234 (hits 1,200 / sys 34) ...".
 std::string fmt_alloc_stats(const AllocStats& s);
+
+// ---- Fault-injection observability (src/fault). ----
+// Re-export of fault::stats() so benches and reports depend on metrics
+// only, mirroring the AllocStats pattern above.
+fault::FaultStats fault_stats();
+void reset_fault_stats();
+// "kills 2 / delays 1 / drops 17 / write-crashes 0 | retries 19,
+//  recoveries 19".
+std::string fmt_fault_stats(const fault::FaultStats& s);
 
 }  // namespace pf::metrics

@@ -1,10 +1,13 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
+
+#include "fault/fault.h"
 
 namespace pf::nn {
 
@@ -18,8 +21,16 @@ void collect(Module& m, std::vector<Tensor*>& out) {
   for (Module* c : m.children()) collect(*c, out);
 }
 
+// Every checkpoint byte goes through here: the fault hook lets tests crash
+// a write at an exact byte offset (simulated kill -9), which is what the
+// temp-file + rename protocol below must survive.
+void write_bytes(std::ofstream& os, const char* p, size_t n) {
+  fault::on_write_bytes(static_cast<int64_t>(n));
+  os.write(p, static_cast<std::streamsize>(n));
+}
+
 void write_u64(std::ofstream& os, uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  write_bytes(os, reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
 uint64_t read_u64(std::ifstream& is) {
@@ -27,18 +38,6 @@ uint64_t read_u64(std::ifstream& is) {
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   if (!is) throw std::runtime_error("checkpoint: unexpected end of file");
   return v;
-}
-
-// FNV-1a over the payload bytes: cheap, dependency-free, and sensitive to
-// both bit flips and truncation (the two corruptions artifacts actually
-// suffer in practice).
-uint64_t fnv1a(const char* p, size_t n) {
-  uint64_t h = 0xCBF29CE484222325ull;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(p[i]);
-    h *= 0x100000001B3ull;
-  }
-  return h;
 }
 
 // Append helpers for the in-memory v1 payload.
@@ -87,46 +86,79 @@ void check_shape(const Shape& file_shape, const Tensor& t) {
 
 }  // namespace
 
+uint64_t fnv1a(const char* p, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ofstream&)>& fill) {
+  // Crash safety: write the whole file to `<path>.tmp`, then rename over the
+  // target. rename(2) replaces atomically on POSIX, so at every instant
+  // `path` holds either the complete previous file or the complete new one
+  // -- a kill -9 mid-write can only ever orphan a temp file. (Writing the
+  // target in place was the bug: a crash left a truncated checkpoint at the
+  // only path.)
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    fill(os);
+    os.flush();
+    if (!os) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave half-written temp files behind
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+}
+
 void save_checkpoint(Module& module, const std::string& path, int version) {
   if (version != 0 && version != 1)
     throw std::runtime_error("checkpoint: unknown format version " +
                              std::to_string(version));
   std::vector<Tensor*> tensors;
   collect(module, tensors);
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
 
-  if (version == 0) {
-    // Legacy layout, kept so older tooling can still be fed.
-    write_u64(os, kCheckpointMagicV0);
-    write_u64(os, tensors.size());
-    for (Tensor* t : tensors) {
-      write_u64(os, static_cast<uint64_t>(t->dim()));
-      for (int64_t d = 0; d < t->dim(); ++d)
-        write_u64(os, static_cast<uint64_t>(t->size(d)));
-      os.write(reinterpret_cast<const char*>(t->data()),
-               static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  atomic_write(path, [&](std::ofstream& os) {
+    if (version == 0) {
+      // Legacy layout, kept so older tooling can still be fed.
+      write_u64(os, kCheckpointMagicV0);
+      write_u64(os, tensors.size());
+      for (Tensor* t : tensors) {
+        write_u64(os, static_cast<uint64_t>(t->dim()));
+        for (int64_t d = 0; d < t->dim(); ++d)
+          write_u64(os, static_cast<uint64_t>(t->size(d)));
+        write_bytes(os, reinterpret_cast<const char*>(t->data()),
+                    static_cast<size_t>(t->numel()) * sizeof(float));
+      }
+    } else {
+      // v1: build the payload in memory so it can be checksummed as one blob.
+      std::vector<char> payload;
+      put_u64(payload, tensors.size());
+      for (Tensor* t : tensors) {
+        put_u64(payload, static_cast<uint64_t>(t->dim()));
+        for (int64_t d = 0; d < t->dim(); ++d)
+          put_u64(payload, static_cast<uint64_t>(t->size(d)));
+        const char* data = reinterpret_cast<const char*>(t->data());
+        payload.insert(payload.end(), data,
+                       data + t->numel() * sizeof(float));
+      }
+      write_u64(os, kCheckpointMagicV1);
+      const char ver = static_cast<char>(kCheckpointVersion);
+      write_bytes(os, &ver, 1);
+      write_u64(os, fnv1a(payload.data(), payload.size()));
+      write_u64(os, payload.size());
+      write_bytes(os, payload.data(), payload.size());
     }
-  } else {
-    // v1: build the payload in memory so it can be checksummed as one blob.
-    std::vector<char> payload;
-    put_u64(payload, tensors.size());
-    for (Tensor* t : tensors) {
-      put_u64(payload, static_cast<uint64_t>(t->dim()));
-      for (int64_t d = 0; d < t->dim(); ++d)
-        put_u64(payload, static_cast<uint64_t>(t->size(d)));
-      const char* data = reinterpret_cast<const char*>(t->data());
-      payload.insert(payload.end(), data,
-                     data + t->numel() * sizeof(float));
-    }
-    write_u64(os, kCheckpointMagicV1);
-    const char ver = static_cast<char>(kCheckpointVersion);
-    os.write(&ver, 1);
-    write_u64(os, fnv1a(payload.data(), payload.size()));
-    write_u64(os, payload.size());
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  }
-  if (!os) throw std::runtime_error("checkpoint: write failed: " + path);
+  });
 }
 
 void load_checkpoint(Module& module, const std::string& path) {

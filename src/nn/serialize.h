@@ -11,9 +11,16 @@
 // truncated or bit-flipped artifacts fail loudly at load time instead of
 // silently serving garbage weights (serving artifacts are copied between
 // machines far more often than training checkpoints).
+//
+// Crash safety: every write goes to `<path>.tmp` first and is renamed over
+// the target only once complete (atomic on POSIX), so a crash -- real or
+// injected via fault::ScopedWriteCrash -- mid-write never destroys the
+// previous good file at `path`.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <functional>
 #include <string>
 
 #include "nn/module.h"
@@ -35,5 +42,18 @@ void save_checkpoint(Module& module, const std::string& path,
 // structurally identical module tree. Throws on I/O failure, magic /
 // version / checksum / shape / count mismatch.
 void load_checkpoint(Module& module, const std::string& path);
+
+// FNV-1a over payload bytes: cheap, dependency-free, and sensitive to both
+// bit flips and truncation. Shared by checkpoint v1 and the TrainState
+// snapshot format (core/checkpoint.h).
+uint64_t fnv1a(const char* p, size_t n);
+
+// The crash-safe write protocol itself, exposed so other on-disk artifacts
+// (TrainState snapshots) get the same guarantee: `fill` writes the complete
+// contents to a stream opened on `<path>.tmp`; on success the temp file is
+// renamed over `path`. On any failure the temp file is removed and `path`
+// is left untouched.
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ofstream&)>& fill);
 
 }  // namespace pf::nn

@@ -1,6 +1,7 @@
 #include "optim/optim.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace pf::optim {
 
@@ -44,6 +45,13 @@ void SGD::step() {
   }
 }
 
+std::vector<Tensor*> SGD::state_tensors() {
+  std::vector<Tensor*> out;
+  out.reserve(velocity_.size());
+  for (Tensor& v : velocity_) out.push_back(&v);
+  return out;
+}
+
 Adam::Adam(std::vector<nn::Param*> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -84,6 +92,22 @@ void Adam::step() {
       wp[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+std::vector<Tensor*> Adam::state_tensors() {
+  std::vector<Tensor*> out;
+  out.reserve(m_.size() + v_.size());
+  for (Tensor& m : m_) out.push_back(&m);
+  for (Tensor& v : v_) out.push_back(&v);
+  return out;
+}
+
+std::vector<int64_t> Adam::state_scalars() const { return {t_}; }
+
+void Adam::set_state_scalars(const std::vector<int64_t>& s) {
+  if (s.size() != 1)
+    throw std::runtime_error("Adam: expected one state scalar (step count)");
+  t_ = s[0];
 }
 
 float clip_grad_norm(const std::vector<nn::Param*>& params, float max_norm) {

@@ -22,6 +22,14 @@ class Optimizer {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  // The optimizer's slot buffers (SGD velocity, Adam moments) in a stable
+  // order, and its integer state (Adam's step count). core/checkpoint
+  // snapshots these so a resumed run steps bitwise-identically to an
+  // uninterrupted one; a stateless optimizer returns empty vectors.
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+  virtual std::vector<int64_t> state_scalars() const { return {}; }
+  virtual void set_state_scalars(const std::vector<int64_t>&) {}
+
  protected:
   std::vector<nn::Param*> params_;
   float lr_ = 0.1f;
@@ -34,6 +42,7 @@ class SGD : public Optimizer {
   SGD(std::vector<nn::Param*> params, float lr, float momentum = 0.0f,
       float weight_decay = 0.0f);
   void step() override;
+  std::vector<Tensor*> state_tensors() override;
 
  private:
   float momentum_, weight_decay_;
@@ -45,6 +54,9 @@ class Adam : public Optimizer {
   Adam(std::vector<nn::Param*> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void step() override;
+  std::vector<Tensor*> state_tensors() override;      // m then v, per param
+  std::vector<int64_t> state_scalars() const override;  // {t}
+  void set_state_scalars(const std::vector<int64_t>& s) override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;

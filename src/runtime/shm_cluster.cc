@@ -1,9 +1,13 @@
 #include "runtime/shm_cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
+#include <limits>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -79,6 +83,9 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
 
   metrics::Timer wall;
   const auto batches = ds.train_batches(tc.global_batch, epoch);
+  // Global step index of this epoch's first batch; faults are scheduled
+  // against global steps so a plan survives multi-epoch runs.
+  const int64_t step_base = global_step_;
 
   // Shared step state. Workers only write their own arena slot / loss cell;
   // all cross-worker reads are separated from the writes by a rendezvous.
@@ -92,6 +99,7 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   std::vector<double> losses(static_cast<size_t>(workers), 0.0);
   std::vector<double> compute_acc(static_cast<size_t>(workers), 0.0);
   std::vector<double> comm_acc(static_cast<size_t>(workers), 0.0);
+  std::vector<double> fault_acc(static_cast<size_t>(workers), 0.0);
   double encode_s = 0, decode_s = 0, loss_sum = 0;
   int64_t bytes_per_worker =
       ring_path_ ? total_params * static_cast<int64_t>(sizeof(float)) : 0;
@@ -102,7 +110,70 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
     // Per-step snapshot of every replica's flat-grad pointer (const reads:
     // the Tensor handles themselves are written only by their owner).
     std::vector<const float*> grad_p(static_cast<size_t>(workers), nullptr);
-    for (const data::ImageBatch& gb : batches) {
+    for (size_t bi = 0; bi < batches.size(); ++bi) {
+      const data::ImageBatch& gb = batches[bi];
+      const int64_t step = step_base + static_cast<int64_t>(bi);
+
+      // Fault injection happens at the top of the step, before any barrier:
+      // the one point where every replica's params and optimizer velocity
+      // are stable (they only mutate in opt.step(), after the last barrier
+      // of the previous step) and bitwise-identical across workers. That
+      // makes a kill recoverable in place with plain const reads of a
+      // surviving replica, no extra synchronization.
+      if (!cfg_.fault.empty()) {
+        if (const fault::WorkerFault* f = cfg_.fault.worker_fault(w, step)) {
+          metrics::Timer t_fault;
+          if (f->kind == fault::WorkerFault::Kind::kDelay) {
+            // Straggler: this worker stalls, the barriers make everyone
+            // else absorb the delay -- exactly how a slow node taxes
+            // synchronous data-parallel training.
+            fault::record_delay();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(f->delay_ms));
+          } else {
+            // Donor = lowest replica with no kill scheduled this step. If
+            // every worker is scheduled to die simultaneously, worker 0 is
+            // spared: in-place recovery needs at least one survivor.
+            int donor = 0;
+            for (int j = 0; j < workers; ++j) {
+              const fault::WorkerFault* jf = cfg_.fault.worker_fault(j, step);
+              if (!jf || jf->kind != fault::WorkerFault::Kind::kKill) {
+                donor = j;
+                break;
+              }
+            }
+            if (donor != w) {
+              // Kill: the replica's live state is lost. NaN-poison params
+              // and velocity first so an incomplete recovery cannot pass
+              // silently, then reincarnate from the donor. Running BN
+              // buffers are replica-local scratch (train mode uses batch
+              // stats) and are outside the recovery contract.
+              fault::record_kill();
+              nn::UnaryModule& dead = *replicas_[static_cast<size_t>(w)];
+              const float poison = std::numeric_limits<float>::quiet_NaN();
+              for (nn::Param* p : dead.parameters()) {
+                Tensor& v = p->var->value;
+                std::fill(v.data(), v.data() + v.numel(), poison);
+              }
+              for (Tensor* t : opts_[static_cast<size_t>(w)]->state_tensors())
+                std::fill(t->data(), t->data() + t->numel(), poison);
+              dead.set_flat_params(
+                  replicas_[static_cast<size_t>(donor)]->flat_params());
+              std::vector<Tensor*> src =
+                  opts_[static_cast<size_t>(donor)]->state_tensors();
+              std::vector<Tensor*> dst =
+                  opts_[static_cast<size_t>(w)]->state_tensors();
+              for (size_t i = 0; i < dst.size(); ++i)
+                std::memcpy(dst[i]->data(), std::as_const(*src[i]).data(),
+                            static_cast<size_t>(dst[i]->numel()) *
+                                sizeof(float));
+              fault::record_recovery();
+            }
+          }
+          fault_acc[static_cast<size_t>(w)] += t_fault.seconds();
+        }
+      }
+
       const int64_t bsz = gb.images.size(0);
       const int n_active = static_cast<int>(
           std::min<int64_t>(workers, (bsz + shard - 1) / shard));
@@ -209,15 +280,62 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   rec.test_acc = ev.acc;
   wall_seconds_ += rec.breakdown.total();
   rec.cumulative_sim_seconds = wall_seconds_;
+  global_step_ = step_base + static_cast<int64_t>(batches.size());
+  fault_seconds_ +=
+      std::accumulate(fault_acc.begin(), fault_acc.end(), 0.0);
   return rec;
 }
 
 std::vector<dist::DistEpochRecord> ShmDataParallelTrainer::train(
     const data::SyntheticImages& ds) {
   std::vector<dist::DistEpochRecord> out;
-  for (int e = 0; e < cfg_.train.epochs; ++e)
+  int start = 0;
+  if (cfg_.resume && !cfg_.checkpoint_dir.empty() &&
+      core::snapshot_exists(cfg_.checkpoint_dir))
+    start = resume();
+  for (int e = start; e < cfg_.train.epochs; ++e) {
     out.push_back(train_epoch(ds, e));
+    if (!cfg_.checkpoint_dir.empty() &&
+        ((e + 1) % std::max(1, cfg_.checkpoint_every) == 0 ||
+         e + 1 == cfg_.train.epochs))
+      save_snapshot(e + 1);
+  }
   return out;
+}
+
+void ShmDataParallelTrainer::save_snapshot(int next_epoch) {
+  core::TrainState st;
+  st.next_epoch = next_epoch;
+  st.global_step = global_step_;
+  st.cumulative_seconds = wall_seconds_;
+  for (Rng& r : worker_rngs_) st.worker_rngs.push_back(r.state());
+  // Replicas are bitwise-identical at epoch boundaries, so worker 0's
+  // weights and optimizer state stand in for the whole cluster.
+  core::capture_optimizer(*opts_[0], st);
+  core::save_snapshot(*replicas_[0], st, cfg_.checkpoint_dir);
+}
+
+int ShmDataParallelTrainer::resume() {
+  core::TrainState st =
+      core::load_snapshot(*replicas_[0], cfg_.checkpoint_dir);
+  if (st.worker_rngs.size() != worker_rngs_.size())
+    throw std::runtime_error(
+        "shm_cluster: snapshot has " + std::to_string(st.worker_rngs.size()) +
+        " worker Rng streams but the cluster has " +
+        std::to_string(worker_rngs_.size()) +
+        " workers -- resume with the worker count that wrote the snapshot");
+  // Broadcast restored weights and optimizer state to every replica: the
+  // invariant that replicas are bitwise-identical at step boundaries must
+  // hold from the very first resumed step.
+  const Tensor flat = replicas_[0]->flat_params();
+  for (int w = 1; w < cfg_.workers; ++w)
+    replicas_[static_cast<size_t>(w)]->set_flat_params(flat);
+  for (auto& o : opts_) core::restore_optimizer(*o, st);
+  for (size_t w = 0; w < worker_rngs_.size(); ++w)
+    worker_rngs_[w].set_state(st.worker_rngs[w]);
+  global_step_ = st.global_step;
+  wall_seconds_ = st.cumulative_seconds;
+  return static_cast<int>(st.next_epoch);
 }
 
 }  // namespace pf::runtime

@@ -26,14 +26,28 @@
 // MEASURED wall-clock (compute = per-worker fwd+bwd average, comm = time in
 // rendezvous + reduction), so bench_fig4_distributed can print modeled and
 // measured columns side by side.
+// Fault tolerance (src/fault): a seeded fault::Plan can kill or delay a
+// worker at the top of a scheduled global step. Because replicas are
+// bitwise-identical at step boundaries, a killed worker is *reincarnated*
+// in place -- its (NaN-poisoned) parameters and optimizer velocity are
+// restored from the lowest surviving replica -- and the run continues
+// bitwise-identical to a fault-free one. The plan doubles as the failure
+// detector: it is deterministic and visible to every worker, which mirrors
+// a real step-boundary failure detector at zero coordination cost.
+// Checkpoint/resume: with checkpoint_dir set, train() writes an atomic
+// weights + TrainState snapshot per epoch and resume() restores replicas,
+// optimizers, and per-worker Rng streams from it.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "compress/compressor.h"
+#include "core/checkpoint.h"
 #include "core/trainer.h"
 #include "dist/cluster.h"
+#include "fault/fault.h"
 #include "optim/optim.h"
 
 namespace pf::runtime {
@@ -43,6 +57,13 @@ struct ShmClusterConfig {
   // Ring-path bucket granularity in bytes (DDP-style gradient buckets).
   int64_t bucket_bytes = 256 << 10;
   dist::DistTrainConfig train;
+  // Deterministic fault schedule (empty = no injection).
+  fault::Plan fault;
+  // When non-empty, train() snapshots after every `checkpoint_every`-th
+  // epoch; with `resume` set it continues from the existing snapshot.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
 };
 
 class ShmDataParallelTrainer {
@@ -59,10 +80,23 @@ class ShmDataParallelTrainer {
                                     int epoch);
   std::vector<dist::DistEpochRecord> train(const data::SyntheticImages& ds);
 
+  // Write an atomic snapshot (replica-0 weights + TrainState with every
+  // worker's Rng stream) into cfg.checkpoint_dir; `next_epoch` is the epoch
+  // a resumed run should start from.
+  void save_snapshot(int next_epoch);
+  // Restore replicas, optimizers, Rng streams, and step/time counters from
+  // cfg.checkpoint_dir. Returns the epoch to continue from. The resumed run
+  // is bitwise-identical to an uninterrupted one.
+  int resume();
+
   // Canonical replica (worker 0); evaluation runs against it.
   nn::UnaryModule& model() { return *replicas_[0]; }
   int workers() const { return cfg_.workers; }
   double cumulative_seconds() const { return wall_seconds_; }
+  int64_t global_step() const { return global_step_; }
+  // Wall-clock spent inside injected faults and their recovery (summed over
+  // workers); already included in the epoch records' measured time.
+  double fault_seconds() const { return fault_seconds_; }
 
   // Per-worker RNG stream, derived from (train.seed, worker_id) via
   // splitmix so concurrent workers never share a stream (seed hygiene for
@@ -78,6 +112,8 @@ class ShmDataParallelTrainer {
   std::vector<Rng> worker_rngs_;
   std::vector<Shape> param_shapes_;
   double wall_seconds_ = 0;
+  int64_t global_step_ = 0;
+  double fault_seconds_ = 0;
 };
 
 }  // namespace pf::runtime

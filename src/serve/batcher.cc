@@ -46,13 +46,26 @@ std::vector<RequestPtr> Batcher::next_batch() {
 
     // The batch's deadline belongs to the *oldest* request: it bounds how
     // long that request waits for peers, not how long the batch builds.
-    const auto deadline =
-        q_.front()->t_submit +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(cfg_.deadline_ms));
+    // Re-armed from the CURRENT front on every pass: another worker can pop
+    // the request a deadline was computed from, and a deadline anchored to
+    // a departed (older) request would flush the new front early --
+    // harmless for the latency bound, but it shrinks batches under
+    // multi-worker contention. With deadline_ms == 0 the armed deadline is
+    // the front's own submit time, which has always passed, so the loop
+    // degenerates to greedy "take whatever is there".
+    const auto front_deadline = [&] {
+      return q_.front()->t_submit +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(cfg_.deadline_ms));
+    };
     while (static_cast<int64_t>(q_.size()) < cfg_.max_batch && !shutdown_) {
-      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
-      if (q_.empty()) break;  // another worker took everything; reassess
+      if (cv_.wait_until(lk, front_deadline()) == std::cv_status::timeout) {
+        if (q_.empty()) break;  // another worker took everything; reassess
+        // Only flush if the request now at the front has really expired;
+        // a timeout against a stale anchor re-arms and keeps waiting.
+        if (std::chrono::steady_clock::now() >= front_deadline()) break;
+      }
+      if (q_.empty()) break;  // spurious/steal wakeup with nothing left
     }
     if (q_.empty()) continue;
 

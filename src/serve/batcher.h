@@ -41,8 +41,16 @@ struct Request {
   uint64_t id = 0;
   Tensor input;
   std::vector<int64_t> tokens;
+  // Retry generation (0 = first try). A retried request is a *fresh*
+  // Request object -- std::promise is single-use -- carrying the same id
+  // with attempt+1; fault injection draws a fresh coin per attempt.
+  int attempt = 0;
 
   Tensor output;
+  // Set by the server when an injected fault dropped this request instead
+  // of serving it; `done` is still fulfilled so clients never hang. Check
+  // after waiting (see submit_with_retry in serve/server.h).
+  bool failed = false;
   std::promise<void> done;
   std::chrono::steady_clock::time_point t_submit{};
 };

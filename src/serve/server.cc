@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 #include <vector>
 
 #include "runtime/thread_pool.h"
@@ -40,16 +41,36 @@ bool Server::submit(const RequestPtr& r) {
 }
 
 void Server::worker_loop() {
+  const bool dropping =
+      !cfg_.fault.empty() && cfg_.fault.drop_probability() > 0;
   for (;;) {
     std::vector<RequestPtr> batch = batcher_.next_batch();
     if (batch.empty()) return;  // shutdown, queue drained
-    engine_.forward_batch(batch);
+    // Injected drops: the deterministic coin for (id, attempt) decides
+    // which requests this batch "loses". Survivors are still served as one
+    // batch; dropped requests are marked failed and their promises
+    // fulfilled, so a waiting client observes the failure immediately.
+    std::vector<RequestPtr> live;
+    if (dropping) {
+      live.reserve(batch.size());
+      for (const RequestPtr& r : batch) {
+        if (cfg_.fault.should_drop(r->id, r->attempt)) {
+          r->failed = true;
+          fault::record_drop();
+        } else {
+          live.push_back(r);
+        }
+      }
+    } else {
+      live = batch;
+    }
+    if (!live.empty()) engine_.forward_batch(live);
     const auto now = std::chrono::steady_clock::now();
-    if (stats_)
-      stats_->record_batch(static_cast<int64_t>(batch.size()),
+    if (stats_ && !live.empty())
+      stats_->record_batch(static_cast<int64_t>(live.size()),
                            batcher_.depth());
     for (const RequestPtr& r : batch) {
-      if (stats_)
+      if (stats_ && !r->failed)
         stats_->record_done(
             std::chrono::duration<double, std::milli>(now - r->t_submit)
                 .count());
@@ -59,6 +80,27 @@ void Server::worker_loop() {
 }
 
 // ---------------- Load generators ----------------
+
+RequestPtr submit_with_retry(Server& server, const RequestFactory& make,
+                             uint64_t id, int max_attempts) {
+  const int attempts = std::max(1, max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      fault::record_retry();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          fault::backoff_ms(attempt)));
+    }
+    RequestPtr r = make(id);
+    r->attempt = attempt;
+    std::future<void> done = r->done.get_future();
+    if (!server.submit(r)) continue;  // admission reject; back off, retry
+    done.wait();
+    if (r->failed) continue;  // injected drop; back off, retry
+    if (attempt > 0) fault::record_recovery();
+    return r;
+  }
+  return nullptr;
+}
 
 int64_t run_closed_loop(Server& server, const RequestFactory& make,
                         const ClosedLoopConfig& cfg) {
@@ -72,11 +114,17 @@ int64_t run_closed_loop(Server& server, const RequestFactory& make,
                                 static_cast<uint64_t>(
                                     cfg.requests_per_client) +
                             static_cast<uint64_t>(k);
+        if (cfg.max_attempts > 1) {
+          if (submit_with_retry(server, make, id, cfg.max_attempts))
+            completed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         RequestPtr r = make(id);
         std::future<void> done = r->done.get_future();
         if (!server.submit(r)) continue;  // shed; keep offering load
         done.wait();
-        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!r->failed)
+          completed.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -89,7 +137,7 @@ int64_t run_open_loop(Server& server, const RequestFactory& make,
   using clock = std::chrono::steady_clock;
   const auto interval = std::chrono::duration_cast<clock::duration>(
       std::chrono::duration<double>(1.0 / std::max(1e-9, cfg.rate_rps)));
-  std::vector<std::future<void>> inflight;
+  std::vector<std::pair<RequestPtr, std::future<void>>> inflight;
   inflight.reserve(static_cast<size_t>(cfg.total_requests));
   auto next = clock::now();
   for (int i = 0; i < cfg.total_requests; ++i) {
@@ -97,10 +145,14 @@ int64_t run_open_loop(Server& server, const RequestFactory& make,
     next += interval;
     RequestPtr r = make(static_cast<uint64_t>(i));
     std::future<void> done = r->done.get_future();
-    if (server.submit(r)) inflight.push_back(std::move(done));
+    if (server.submit(r)) inflight.emplace_back(r, std::move(done));
   }
-  for (std::future<void>& f : inflight) f.wait();
-  return static_cast<int64_t>(inflight.size());
+  int64_t completed = 0;
+  for (auto& [r, f] : inflight) {
+    f.wait();
+    if (!r->failed) ++completed;  // injected drops don't count as served
+  }
+  return completed;
 }
 
 }  // namespace pf::serve

@@ -28,6 +28,7 @@
 #include <functional>
 #include <thread>
 
+#include "fault/fault.h"
 #include "metrics/serve_stats.h"
 #include "serve/batcher.h"
 #include "serve/frozen.h"
@@ -37,6 +38,11 @@ namespace pf::serve {
 struct ServerConfig {
   int workers = 2;  // desired; clamped to runtime::threads() at start()
   BatcherConfig batcher;
+  // Deterministic fault schedule. With drop_requests(p) set, workers drop
+  // each (id, attempt) pair with probability p instead of serving it; the
+  // request's promise is still fulfilled with failed = true, so clients
+  // observe the failure rather than hanging (see submit_with_retry).
+  fault::Plan fault;
 };
 
 class Server {
@@ -78,9 +84,21 @@ class Server {
 // Builds the i-th request (deterministic in `id` so runs are reproducible).
 using RequestFactory = std::function<RequestPtr(uint64_t id)>;
 
+// Submit with retry + exponential backoff: survives admission rejects and
+// injected drops. Each attempt is a FRESH request from `make` (promises are
+// single-use) carrying the same id and attempt = 0, 1, ... so the fault
+// plan's drop coin is redrawn per attempt. Sleeps fault::backoff_ms between
+// attempts. Returns the completed request, or nullptr when all
+// `max_attempts` failed (the caller's load-shedding signal).
+RequestPtr submit_with_retry(Server& server, const RequestFactory& make,
+                             uint64_t id, int max_attempts = 4);
+
 struct ClosedLoopConfig {
   int clients = 4;              // concurrent clients, each with 0 think time
   int requests_per_client = 32;
+  // > 1 routes each request through submit_with_retry, so injected drops
+  // and admission rejects are retried instead of shed.
+  int max_attempts = 1;
 };
 
 // Closed loop: each client submits one request, waits for the response,

@@ -96,6 +96,20 @@ std::vector<int64_t> Rng::permutation(int64_t n) {
   return p;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached = has_cached_;
+  st.cached = cached_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  has_cached_ = st.has_cached;
+  cached_ = st.cached;
+}
+
 Rng Rng::stream(uint64_t seed, uint64_t stream_id) {
   // splitmix64 is a bijection on the counter sequence, so hashing the seed
   // first and then folding in the (offset) stream id guarantees distinct

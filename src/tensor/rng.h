@@ -39,6 +39,18 @@ class Rng {
   // Derive an independent stream (for per-worker / per-layer seeding).
   Rng split(uint64_t stream_id) const;
 
+  // Exact generator state, snapshot/restore. A restored Rng continues the
+  // stream bitwise-identically -- including the cached Box-Muller pair --
+  // which is what lets a resumed training run replay the exact randomness
+  // an uninterrupted run would have drawn (core/checkpoint.h).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached = false;
+    double cached = 0.0;
+  };
+  State state() const;
+  void set_state(const State& st);
+
   // Independent stream for (seed, stream_id) without an intermediate Rng:
   // both words are pushed through splitmix64, so distinct worker ids map to
   // distinct, decorrelated streams even for adjacent seeds. This is what

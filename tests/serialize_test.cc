@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <utility>
 
+#include "fault/fault.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
 
@@ -188,6 +191,60 @@ TEST(Checkpoint, TruncatedFileThrows) {
   }
   Linear l2(32, 32, rng);
   EXPECT_THROW(load_checkpoint(l2, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, KillMidWritePreservesPreviousCheckpoint) {
+  // Regression: save_checkpoint used to write the target file in place, so
+  // a crash mid-write destroyed the only good checkpoint. With the
+  // temp-file + rename protocol the crash hits <path>.tmp and the previous
+  // file survives untouched.
+  Rng rng(11);
+  Linear l(16, 16, rng);
+  const std::string path = tmp_path("ckpt_killed.bin");
+  save_checkpoint(l, path);
+  const Tensor before = l.flat_params();
+
+  Linear next(16, 16, rng);  // different params: a newer epoch's weights
+  {
+    fault::ScopedWriteCrash crash(64);  // "kill -9" a few writes in
+    EXPECT_THROW(save_checkpoint(next, path), fault::InjectedCrash);
+  }
+
+  // Previous checkpoint still loads, bitwise intact; no orphaned temp file.
+  Linear restored(16, 16, rng);
+  load_checkpoint(restored, path);
+  const Tensor after = restored.flat_params();
+  ASSERT_EQ(before.shape(), after.shape());
+  EXPECT_EQ(std::memcmp(std::as_const(before).data(),
+                        std::as_const(after).data(),
+                        static_cast<size_t>(before.numel()) * sizeof(float)),
+            0);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Disarmed again: the interrupted save succeeds when retried.
+  save_checkpoint(next, path);
+  Linear next2(16, 16, rng);
+  load_checkpoint(next2, path);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AtomicWriteCleansUpTempOnFailure) {
+  const std::string path = tmp_path("atomic_probe.bin");
+  atomic_write(path, [](std::ofstream& os) {
+    const char payload[] = "payload";
+    os.write(payload, sizeof(payload));
+  });
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  EXPECT_THROW(atomic_write(path,
+                            [](std::ofstream&) {
+                              throw std::runtime_error("writer failed");
+                            }),
+               std::runtime_error);
+  EXPECT_TRUE(std::filesystem::exists(path));  // old file untouched
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   std::remove(path.c_str());
 }
 

@@ -114,6 +114,71 @@ TEST(Batcher, RejectsBeyondBoundedDepth) {
   EXPECT_TRUE(b.next_batch().empty());
 }
 
+TEST(Batcher, DeadlineReArmsAfterAnotherWorkerFlushes) {
+  // Regression for the flush-deadline re-arm path: worker A parks on a
+  // deadline computed from the oldest request; another worker pops that
+  // request. The deadline must then be re-anchored to the CURRENT front --
+  // a stale anchor would flush a freshly submitted request immediately (as
+  // a batch of one) instead of letting it wait its own deadline_ms for
+  // peers.
+  BatcherConfig cfg;
+  cfg.max_batch = 3;
+  cfg.deadline_ms = 80;
+  Batcher b(cfg);
+
+  ASSERT_TRUE(b.submit(make_request(0, Tensor::ones(Shape{2}))));
+  // Worker A parks with the deadline anchored to request 0.
+  std::vector<RequestPtr> got_a;
+  std::thread worker_a([&] { got_a = b.next_batch(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Worker B arrives, and two more submissions complete a full batch that
+  // B (or A) takes immediately -- either way request 0 leaves the queue.
+  ASSERT_TRUE(b.submit(make_request(1, Tensor::ones(Shape{2}))));
+  ASSERT_TRUE(b.submit(make_request(2, Tensor::ones(Shape{2}))));
+  worker_a.join();
+  ASSERT_EQ(got_a.size(), 3u);
+
+  // A fresh request submitted now is anchored to its OWN submit time: a
+  // second worker must hold it for ~deadline_ms waiting for peers, not
+  // flush it instantly against request 0's long-gone deadline.
+  ASSERT_TRUE(b.submit(make_request(3, Tensor::ones(Shape{2}))));
+  metrics::Timer t;
+  std::vector<RequestPtr> got_b = b.next_batch();
+  const double waited = t.seconds();
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_b[0]->id, 3u);
+  EXPECT_GE(waited, 0.05);  // ~deadline_ms minus scheduling slop
+}
+
+TEST(Batcher, ZeroDeadlineStaysGreedyUnderConcurrentWorkers) {
+  // deadline_ms = 0 degenerate case: the armed deadline is the front's own
+  // submit time (always in the past), so next_batch never parks -- even
+  // when several workers race over the same queue.
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.deadline_ms = 0;
+  Batcher b(cfg);
+  constexpr int kRequests = 32;
+  std::atomic<int> handed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w)
+    workers.emplace_back([&] {
+      for (;;) {
+        std::vector<RequestPtr> batch = b.next_batch();
+        if (batch.empty()) return;  // shutdown + drained
+        handed.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  metrics::Timer t;
+  for (int i = 0; i < kRequests; ++i)
+    ASSERT_TRUE(b.submit(make_request(static_cast<uint64_t>(i),
+                                      Tensor::ones(Shape{2}))));
+  b.shutdown();
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(handed.load(), kRequests);  // every request handed out once
+  EXPECT_LT(t.seconds(), 5.0);          // greedy: nobody waited a deadline
+}
+
 TEST(Batcher, ShutdownWakesBlockedWorker) {
   BatcherConfig cfg;
   cfg.deadline_ms = 10000;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/matmul.h"
@@ -149,6 +150,23 @@ TEST(RandomizedSvd, AgreesWithExactOnLowRank) {
   SvdResult ex = gram_svd(a, 5);
   for (int64_t i = 0; i < 5; ++i)
     EXPECT_NEAR(rs.s[i], ex.s[i], 1e-2f * ex.s[0]);
+}
+
+TEST(RandomizedSvd, NonPositiveRankClampsToFullLikeGramSvd) {
+  // Regression: rank was only clamped from above, so rank <= 0 flowed into
+  // the sketch width and asked for a zero/negative-column Omega instead of
+  // meaning "full rank" as it does in gram_svd.
+  Rng rng(31);
+  Tensor u = rng.randn(Shape{12, 3});
+  Tensor v = rng.randn(Shape{9, 3});
+  Tensor a = matmul_nt(u, v);  // exactly rank 3
+  for (const int64_t r : {int64_t{0}, int64_t{-4}}) {
+    Rng seed(5);
+    SvdResult rs = randomized_svd(a, r, seed);
+    EXPECT_EQ(rs.s.numel(), std::min<int64_t>(12, 9)) << "rank " << r;
+    EXPECT_LT(frobenius_diff(svd_reconstruct(rs), a), 1e-2f * a.norm())
+        << "rank " << r;
+  }
 }
 
 TEST(RandomizedSvd, HandlesTruncationOfFullRank) {
