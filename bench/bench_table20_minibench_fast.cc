@@ -54,7 +54,13 @@ int main() {
     Tensor batch = data_rng.randn(Shape{64, 3, rows[i].hw, rows[i].hw});
     auto model = rows[i].factory(rng);
     alloc_section_begin();
+    // With PF_TRACE=1 each timed section also prints a "[trace] ..." line,
+    // and the last one exports its timeline as chrome://tracing JSON (the
+    // CI entry pf_bench_trace_smoke runs this bench that way).
+    trace_section_begin();
     const double secs = timed_forward(*model, batch, 3);
+    trace_section_end(rows[i].name,
+                      i + 1 == rows.size() ? "pf_trace_minibench.json" : "");
     alloc_lines.push_back(
         rows[i].name + ": " +
         metrics::fmt_alloc_stats(metrics::alloc_stats()));

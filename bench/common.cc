@@ -1,6 +1,9 @@
 #include "common.h"
 
 #include <cstdio>
+#include <fstream>
+
+#include "trace/trace.h"
 
 namespace bench {
 
@@ -108,6 +111,28 @@ void alloc_section_begin() {
 void alloc_section_end(const std::string& label) {
   std::printf("[alloc] %s: %s\n", label.c_str(),
               metrics::fmt_alloc_stats(metrics::alloc_stats()).c_str());
+}
+
+void trace_section_begin() {
+  if (trace::enabled()) trace::reset();
+}
+
+void trace_section_end(const std::string& label,
+                       const std::string& json_path) {
+  if (!trace::enabled()) return;
+  // Drain first: wraparound drops are tallied when the rings are read.
+  const std::vector<trace::Event> events = trace::drain();
+  const std::uint64_t dropped = trace::dropped();
+  std::string exported;
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary);
+    os << trace::to_chrome_json(events);
+    exported = os.good() ? ", exported " + json_path
+                         : ", EXPORT FAILED " + json_path;
+  }
+  std::printf("[trace] %s: %zu spans, %llu dropped%s\n", label.c_str(),
+              events.size(), static_cast<unsigned long long>(dropped),
+              exported.c_str());
 }
 
 std::string cell(const std::vector<double>& values, int precision) {

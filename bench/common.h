@@ -62,6 +62,17 @@ void banner(const std::string& title, const std::string& paper_ref,
 void alloc_section_begin();
 void alloc_section_end(const std::string& label);
 
+// Span-tracing bracketing for a benchmark section, active only when the
+// tracer is on (PF_TRACE=1 or trace::set_enabled). begin() drops events
+// buffered by earlier sections; end() prints one "[trace] <label>: ..."
+// line with the span/dropped counts and, when `json_path` is non-empty,
+// writes the section's timeline there as chrome://tracing JSON. No-ops
+// (and no output) when tracing is disabled, so bench output is unchanged
+// for plain runs.
+void trace_section_begin();
+void trace_section_end(const std::string& label,
+                       const std::string& json_path = "");
+
 // "93.89 +- 0.14"-style cell from per-seed values.
 std::string cell(const std::vector<double>& values, int precision = 2);
 

@@ -8,6 +8,7 @@
 
 #include "fault/fault.h"
 #include "nn/serialize.h"
+#include "trace/trace.h"
 
 namespace pf::core {
 
@@ -220,6 +221,7 @@ bool snapshot_exists(const std::string& dir) {
 }
 
 void save_snapshot(nn::Module& model, TrainState st, const std::string& dir) {
+  PF_TRACE_SCOPE_C("ckpt.save", st.next_epoch);
   std::filesystem::create_directories(dir);
   const SnapshotPaths p = snapshot_paths(dir);
   st.model_hash = hash_model(model);
@@ -228,6 +230,7 @@ void save_snapshot(nn::Module& model, TrainState st, const std::string& dir) {
 }
 
 TrainState load_snapshot(nn::Module& model, const std::string& dir) {
+  PF_TRACE_SCOPE("ckpt.load");
   const SnapshotPaths p = snapshot_paths(dir);
   TrainState st = load_train_state(p.state);
   nn::load_checkpoint(model, p.model);

@@ -6,6 +6,7 @@
 
 #include "linalg/svd.h"
 #include "tensor/matmul.h"
+#include "trace/trace.h"
 
 namespace pf::core {
 
@@ -28,6 +29,7 @@ void check(bool cond, const std::string& msg) {
 double last_warm_start_svd_seconds() { return g_svd_seconds; }
 
 FactorPair factorize_matrix(const Tensor& w, int64_t rank, Rng& rng) {
+  PF_TRACE_SCOPE_C("svd.factorize", rank);
   const double t0 = now_s();
   linalg::SvdResult svd = linalg::truncated_svd(w, rank, rng);
   g_svd_seconds += now_s() - t0;

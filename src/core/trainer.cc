@@ -10,6 +10,7 @@
 #include "metrics/metrics.h"
 #include "optim/optim.h"
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace pf::core {
 
@@ -44,6 +45,7 @@ double vision_epoch(nn::UnaryModule& model, optim::SGD& opt,
 EvalResult evaluate_vision(nn::UnaryModule& model,
                            const data::SyntheticImages& ds, int64_t batch,
                            float label_smoothing) {
+  PF_TRACE_SCOPE("train.eval");
   EvalModeGuard eval_mode(model);
   ag::NoGradGuard ng;
   EvalResult r;
@@ -71,6 +73,16 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
                           const data::SyntheticImages& ds,
                           const VisionTrainConfig& cfg) {
   metrics::Timer total_timer;
+  // cfg.trace_path turns the global tracer on for this run and exports the
+  // merged timeline when training returns. The tracer records into rings
+  // that any concurrently traced code shares; runs that export should not
+  // overlap other traced work.
+  const bool tracing = !cfg.trace_path.empty();
+  const bool trace_prev = trace::enabled();
+  if (tracing) {
+    trace::set_enabled(true);
+    trace::drain();  // start the export from a clean timeline
+  }
   if (cfg.threads > 0) runtime::set_threads(cfg.threads);
   Rng rng(cfg.seed * 0x9E3779B9u + 17);
   VisionResult out;
@@ -126,7 +138,11 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
     if (make_hybrid && !low_rank_phase && epoch == warmup) {
       // Algorithm 1: factorize the partially trained vanilla weights.
       std::unique_ptr<nn::UnaryModule> hybrid = make_hybrid(rng);
-      warm_start(*model, *hybrid, rng);
+      {
+        // The Table-19 one-shot factorization cost, visible as one span.
+        PF_TRACE_SCOPE_C("train.svd_warm_start", epoch);
+        warm_start(*model, *hybrid, rng);
+      }
       out.svd_seconds = last_warm_start_svd_seconds();
       model = std::move(hybrid);
       opt = std::make_unique<optim::SGD>(model->parameters(), sched.at_epoch(epoch),
@@ -135,7 +151,13 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
     }
     opt->set_lr(sched.at_epoch(epoch));
     metrics::Timer t;
-    const double train_loss = vision_epoch(*model, *opt, ds, cfg, epoch);
+    double train_loss;
+    {
+      PF_TRACE_SCOPE_C(
+          low_rank_phase ? "train.epoch.finetune" : "train.epoch.warmup",
+          epoch);
+      train_loss = vision_epoch(*model, *opt, ds, cfg, epoch);
+    }
     const double secs = t.seconds();
     const EvalResult ev = evaluate_vision(*model, ds, cfg.batch,
                                           cfg.label_smoothing);
@@ -170,6 +192,10 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
   }
   out.params = model->num_params();
   out.total_seconds = carried_seconds + total_timer.seconds();
+  if (tracing) {
+    trace::write_chrome_json(cfg.trace_path);
+    trace::set_enabled(trace_prev);
+  }
   return out;
 }
 
@@ -240,11 +266,16 @@ LmResult train_lm(const LmModelFactory& make_vanilla,
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     if (make_lowrank && !low_rank_phase && epoch == warmup) {
       std::unique_ptr<models::LstmLm> lowrank = make_lowrank(rng);
-      warm_start(*model, *lowrank, rng);
+      {
+        PF_TRACE_SCOPE_C("train.svd_warm_start", epoch);
+        warm_start(*model, *lowrank, rng);
+      }
       out.svd_seconds = last_warm_start_svd_seconds();
       model = std::move(lowrank);
       low_rank_phase = true;
     }
+    PF_TRACE_SCOPE_C(
+        low_rank_phase ? "train.epoch.finetune" : "train.epoch.warmup", epoch);
     last_train_loss = lm_epoch(*model, corpus, cfg, plateau.lr());
     const double val_ppl =
         evaluate_lm(*model, corpus.valid(), cfg.batch, cfg.bptt);
@@ -353,13 +384,18 @@ MtResult train_mt(const MtModelFactory& make_vanilla,
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     if (make_lowrank && !low_rank_phase && epoch == warmup) {
       std::unique_ptr<models::TransformerMT> lowrank = make_lowrank(rng);
-      warm_start(*model, *lowrank, rng);
+      {
+        PF_TRACE_SCOPE_C("train.svd_warm_start", epoch);
+        warm_start(*model, *lowrank, rng);
+      }
       out.svd_seconds = last_warm_start_svd_seconds();
       model = std::move(lowrank);
       opt = std::make_unique<optim::Adam>(model->parameters(), cfg.lr, 0.9f,
                                           0.98f);
       low_rank_phase = true;
     }
+    PF_TRACE_SCOPE_C(
+        low_rank_phase ? "train.epoch.finetune" : "train.epoch.warmup", epoch);
     last_train_loss = mt_epoch(*model, *opt, ds, cfg, epoch);
   }
   out.train_ppl = metrics::perplexity(last_train_loss);

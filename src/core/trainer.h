@@ -57,6 +57,12 @@ struct VisionTrainConfig {
   // a different rank policy than the one that shaped its hybrid fails
   // loudly. Purely metadata for the vanilla phase.
   RankPolicy rank_policy;
+
+  // When non-empty, span tracing (trace/trace.h) is enabled for the run and
+  // the merged timeline is written here as chrome://tracing JSON when
+  // training finishes. Spans never perturb results: trace-on training is
+  // bitwise-identical to trace-off (asserted in tests/trace_test.cc).
+  std::string trace_path;
 };
 
 struct EpochRecord {

@@ -2,6 +2,7 @@
 
 #include "metrics/metrics.h"
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace pf::dist {
 
@@ -43,6 +44,7 @@ void DataParallelTrainer::replace_model(
 
 DistEpochRecord DataParallelTrainer::train_epoch(
     const data::SyntheticImages& ds, int epoch) {
+  PF_TRACE_SCOPE_C("dist.epoch", epoch);
   const int nodes = cm_.nodes;
   const int64_t shard = std::max<int64_t>(1, cfg_.global_batch / nodes);
 
@@ -62,6 +64,7 @@ DistEpochRecord DataParallelTrainer::train_epoch(
     // Shard the global batch across workers; compute real per-worker grads.
     std::vector<Tensor> grads;
     grads.reserve(static_cast<size_t>(nodes));
+    PF_TRACE_SCOPE_C("dist.round", steps);
     metrics::Timer tc;
     for (int w = 0; w < nodes; ++w) {
       const int64_t start = w * shard;
@@ -83,7 +86,11 @@ DistEpochRecord DataParallelTrainer::train_epoch(
     rec.breakdown.compute_s += tc.seconds() / nodes;
 
     compress::ReduceStats stats;
-    Tensor agg = reducer_->reduce(grads, param_shapes_, &stats);
+    Tensor agg;
+    {
+      PF_TRACE_SCOPE_C("dist.reduce", rec.breakdown.bytes_per_worker);
+      agg = reducer_->reduce(grads, param_shapes_, &stats);
+    }
     rec.breakdown.encode_s += stats.encode_seconds / nodes;
     rec.breakdown.decode_s += stats.decode_seconds;
     rec.breakdown.comm_s +=

@@ -26,6 +26,12 @@ struct EpochBreakdown {
   double comm_s = 0;      // modeled collective time
   double decode_s = 0;    // per-node decode / aggregation post-processing
   double other_s = 0;     // optimizer step, data, bookkeeping
+  // Independently measured epoch wall time, when the executor has one
+  // (runtime::ShmDataParallelTrainer). 0 for purely modeled breakdowns.
+  // When set, the components are disjoint per-worker averages, so
+  // total() == wall_s up to the other_s >= 0 clamp (asserted in
+  // trainer_test.cc).
+  double wall_s = 0;
   int64_t bytes_per_worker = 0;
   double total() const {
     return compute_s + encode_s + comm_s + decode_s + other_s;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "trace/trace.h"
+
 namespace pf::fault {
 
 namespace {
@@ -114,13 +116,41 @@ void reset_stats() {
   g_kills = g_delays = g_drops = g_write_crashes = g_retries = g_recoveries = 0;
 }
 
-void record_kill() { g_kills.fetch_add(1, std::memory_order_relaxed); }
-void record_delay() { g_delays.fetch_add(1, std::memory_order_relaxed); }
-void record_drop() { g_drops.fetch_add(1, std::memory_order_relaxed); }
+namespace {
+
+// Zero-duration marker in the trace timeline, so injected faults are
+// visible between the spans they perturb (shm.recover, serve.reply, ...).
+void mark(const char* name) {
+  if (!trace::enabled()) return;
+  const uint64_t t = trace::now_ns();
+  trace::emit(name, t, t);
+}
+
+}  // namespace
+
+void record_kill() {
+  g_kills.fetch_add(1, std::memory_order_relaxed);
+  mark("fault.kill");
+}
+void record_delay() {
+  g_delays.fetch_add(1, std::memory_order_relaxed);
+  mark("fault.delay");
+}
+void record_drop() {
+  g_drops.fetch_add(1, std::memory_order_relaxed);
+  mark("fault.drop");
+}
 void record_write_crash() {
   g_write_crashes.fetch_add(1, std::memory_order_relaxed);
+  mark("fault.write_crash");
 }
-void record_retry() { g_retries.fetch_add(1, std::memory_order_relaxed); }
-void record_recovery() { g_recoveries.fetch_add(1, std::memory_order_relaxed); }
+void record_retry() {
+  g_retries.fetch_add(1, std::memory_order_relaxed);
+  mark("fault.retry");
+}
+void record_recovery() {
+  g_recoveries.fetch_add(1, std::memory_order_relaxed);
+  mark("fault.recovery");
+}
 
 }  // namespace pf::fault

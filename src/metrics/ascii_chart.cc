@@ -87,4 +87,34 @@ std::string render_chart(const std::vector<Series>& series,
   return out;
 }
 
+std::string render_bars(const std::vector<Bar>& bars, int width) {
+  if (bars.empty()) return "(empty chart)";
+  const int w = std::max(4, width);
+  size_t label_w = 0;
+  double max_v = 0.0;
+  for (const Bar& b : bars) {
+    label_w = std::max(label_w, b.label.size());
+    max_v = std::max(max_v, b.value);
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < bars.size(); ++i) {
+    const Bar& b = bars[i];
+    const int fill = std::clamp(
+        static_cast<int>(b.value / max_v * w + 0.5), b.value > 0.0 ? 1 : 0, w);
+    out += b.label;
+    out += std::string(label_w - b.label.size(), ' ');
+    out += " |";
+    out += std::string(static_cast<size_t>(fill), '#');
+    out += std::string(static_cast<size_t>(w - fill), ' ');
+    std::snprintf(buf, sizeof(buf), "| %10.3f", b.value);
+    out += buf;
+    if (!b.annotation.empty()) out += " " + b.annotation;
+    if (i + 1 < bars.size()) out += '\n';
+  }
+  return out;
+}
+
 }  // namespace pf::metrics

@@ -30,4 +30,16 @@ struct ChartOptions {
 std::string render_chart(const std::vector<Series>& series,
                          const ChartOptions& opts = {});
 
+// One row of a horizontal bar chart (used by trace::flame_summary).
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  std::string annotation;  // printed after the value, e.g. "x128"
+};
+
+// Renders labels, '#' bars scaled to the max value, and the numeric value:
+//   matmul       |############################        | 45.21 x1203
+// `width` is the bar width in characters. No trailing newline.
+std::string render_bars(const std::vector<Bar>& bars, int width = 48);
+
 }  // namespace pf::metrics

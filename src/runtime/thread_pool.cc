@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "trace/trace.h"
+
 namespace pf::runtime {
 
 namespace {
@@ -165,13 +167,17 @@ void run_chunks(int64_t begin, int64_t end, int64_t grain,
     return;
   }
   const int n_workers = pool->size();
-  pool->run([&](int worker) {
-    // Static round-robin assignment: worker t owns chunks t, t+T, t+2T, ...
-    for (int64_t c = worker; c < n_chunks; c += n_workers) {
-      const int64_t b = begin + c * w;
-      fn(c, b, std::min(b + w, end));
-    }
-  });
+  {
+    PF_TRACE_SCOPE_C("pool.dispatch", n_chunks);
+    pool->run([&](int worker) {
+      PF_TRACE_SCOPE_C("pool.worker", worker);
+      // Static round-robin assignment: worker t owns chunks t, t+T, t+2T, ...
+      for (int64_t c = worker; c < n_chunks; c += n_workers) {
+        const int64_t b = begin + c * w;
+        fn(c, b, std::min(b + w, end));
+      }
+    });
+  }
   g_dispatch_mutex.unlock();
 }
 

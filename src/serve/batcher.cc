@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace pf::serve {
 
 RequestPtr make_request(uint64_t id, Tensor input) {
@@ -43,6 +45,10 @@ std::vector<RequestPtr> Batcher::next_batch() {
   for (;;) {
     cv_.wait(lk, [&] { return shutdown_ || !q_.empty(); });
     if (q_.empty()) return {};  // shutdown and fully drained
+    // Flush span: from first seeing work to handing the batch out. This is
+    // the batching delay (waiting for peers / the deadline), as opposed to
+    // idle time parked on an empty queue, which records no span.
+    const std::uint64_t t_flush = trace::enabled() ? trace::now_ns() : 0;
 
     // The batch's deadline belongs to the *oldest* request: it bounds how
     // long that request waits for peers, not how long the batch builds.
@@ -77,6 +83,7 @@ std::vector<RequestPtr> Batcher::next_batch() {
       batch.push_back(std::move(q_.front()));
       q_.pop_front();
     }
+    trace::emit("serve.flush", t_flush, trace::now_ns(), n);
     return batch;
   }
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace pf::serve {
 
@@ -17,6 +18,11 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (started_.exchange(true)) return;
+  if (!cfg_.trace_path.empty()) {
+    trace_prev_ = trace::enabled();
+    trace::set_enabled(true);
+    trace::drain();  // start the export from a clean timeline
+  }
   const int n = std::max(1, std::min(cfg_.workers, runtime::threads()));
   workers_running_ = n;
   dispatcher_ = std::thread([this, n] {
@@ -29,6 +35,11 @@ void Server::start() {
 void Server::stop() {
   batcher_.shutdown();
   if (dispatcher_.joinable()) dispatcher_.join();
+  if (!cfg_.trace_path.empty() && started_.load()) {
+    trace::write_chrome_json(cfg_.trace_path);
+    trace::set_enabled(trace_prev_);
+    cfg_.trace_path.clear();  // stop() is idempotent; export once
+  }
 }
 
 bool Server::submit(const RequestPtr& r) {
@@ -64,11 +75,24 @@ void Server::worker_loop() {
     } else {
       live = batch;
     }
-    if (!live.empty()) engine_.forward_batch(live);
+    if (trace::enabled()) {
+      // Per-request queueing delay: submit -> this worker picking the batch
+      // up. Together with serve.forward below this separates time-in-queue
+      // from batch compute for every request in the timeline.
+      const std::uint64_t t_dequeue = trace::now_ns();
+      for (const RequestPtr& r : batch)
+        trace::emit("serve.queue", trace::to_trace_ns(r->t_submit), t_dequeue,
+                    static_cast<std::int64_t>(r->id));
+    }
+    if (!live.empty()) {
+      PF_TRACE_SCOPE_C("serve.forward", static_cast<std::int64_t>(live.size()));
+      engine_.forward_batch(live);
+    }
     const auto now = std::chrono::steady_clock::now();
     if (stats_ && !live.empty())
       stats_->record_batch(static_cast<int64_t>(live.size()),
                            batcher_.depth());
+    PF_TRACE_SCOPE_C("serve.reply", static_cast<std::int64_t>(batch.size()));
     for (const RequestPtr& r : batch) {
       if (stats_ && !r->failed)
         stats_->record_done(

@@ -43,6 +43,11 @@ struct ServerConfig {
   // request's promise is still fulfilled with failed = true, so clients
   // observe the failure rather than hanging (see submit_with_retry).
   fault::Plan fault;
+  // When non-empty, span tracing (trace/trace.h) is enabled at start() and
+  // the merged timeline -- serve.queue / serve.flush / serve.forward /
+  // serve.reply spans separating queueing delay from batch compute per
+  // request -- is written here as chrome://tracing JSON at stop().
+  std::string trace_path;
 };
 
 class Server {
@@ -77,6 +82,7 @@ class Server {
   std::thread dispatcher_;
   std::atomic<bool> started_{false};
   int workers_running_ = 0;
+  bool trace_prev_ = false;  // tracer state to restore at stop()
 };
 
 // ---------------- Load generators ----------------

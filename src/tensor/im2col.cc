@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace pf {
 
@@ -20,6 +21,7 @@ void im2col(const float* img, const ConvGeom& g, float* col) {
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t spatial = oh * ow;
   const int64_t kk2 = g.kernel * g.kernel;
+  PF_TRACE_SCOPE_C("im2col", g.c_in * kk2 * spatial);
   // Column layout: row index = (c*k + ki)*k + kj, col index = oy*ow + ox.
   // Every column row is written by exactly one chunk, so the parallel split
   // over rows is race-free and bit-identical to the serial walk.
@@ -50,6 +52,7 @@ void im2col(const float* img, const ConvGeom& g, float* col) {
 void col2im(const float* col, const ConvGeom& g, float* img) {
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t spatial = oh * ow;
+  PF_TRACE_SCOPE_C("col2im", g.c_in * g.kernel * g.kernel * spatial);
   // Scatter-add: all (ki, kj) rows of one channel accumulate into the same
   // image plane, so the parallel split is over channels only -- planes are
   // disjoint and each keeps the serial accumulation order.

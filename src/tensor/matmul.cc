@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace pf {
 
@@ -53,6 +54,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check(a.dim() == 2 && b.dim() == 2, "matmul: 2-D tensors required");
   check(a.size(1) == b.size(0), "matmul: inner dim mismatch");
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  PF_TRACE_SCOPE_C("matmul", m * k * n);
   Tensor c(Shape{m, n});
   const float* ad = a.data();
   const float* bd = b.data();
@@ -69,6 +71,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check(a.dim() == 2 && b.dim() == 2, "matmul_tn: 2-D tensors required");
   check(a.size(0) == b.size(0), "matmul_tn: inner dim mismatch");
   const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  PF_TRACE_SCOPE_C("matmul_tn", m * k * n);
   Tensor c(Shape{m, n});
   float* cd = c.data();
   const float* ad = a.data();
@@ -95,6 +98,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check(a.dim() == 2 && b.dim() == 2, "matmul_nt: 2-D tensors required");
   check(a.size(1) == b.size(1), "matmul_nt: inner dim mismatch");
   const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  PF_TRACE_SCOPE_C("matmul_nt", m * k * n);
   Tensor c(Shape{m, n});
   float* cd = c.data();
   const float* ad = a.data();
@@ -130,6 +134,7 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   check(a.dim() == 3 && b.dim() == 3, "bmm: 3-D tensors required");
   check(a.size(0) == b.size(0) && a.size(2) == b.size(1), "bmm: dim mismatch");
   const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  PF_TRACE_SCOPE_C("bmm", bt * m * k * n);
   Tensor c(Shape{bt, m, n});
   const float* ad = a.data();
   const float* bd = b.data();
@@ -146,6 +151,7 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
   check(a.size(0) == b.size(0) && a.size(2) == b.size(2),
         "bmm_nt: dim mismatch");
   const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(1);
+  PF_TRACE_SCOPE_C("bmm_nt", bt * m * k * n);
   Tensor c(Shape{bt, m, n});
   const float* abase = a.data();
   const float* bbase = b.data();
@@ -181,6 +187,7 @@ Tensor bmm_tn(const Tensor& a, const Tensor& b) {
   check(a.size(0) == b.size(0) && a.size(1) == b.size(1),
         "bmm_tn: dim mismatch");
   const int64_t bt = a.size(0), k = a.size(1), m = a.size(2), n = b.size(2);
+  PF_TRACE_SCOPE_C("bmm_tn", bt * m * k * n);
   Tensor c(Shape{bt, m, n});
   const float* abase = a.data();
   const float* bbase = b.data();

@@ -1,0 +1,265 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "metrics/ascii_chart.h"
+
+namespace pf::trace {
+namespace {
+
+bool env_enabled() {
+  const char* s = std::getenv("PF_TRACE");
+  return s != nullptr && s[0] != '\0' && !(s[0] == '0' && s[1] == '\0');
+}
+
+// Per-thread event ring. The owner thread is the only writer; it publishes
+// events by storing `head` with release order after filling the slot, so a
+// quiesced drain() (acquire load) sees fully written events.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int id) : tid(id), ring(kRingCapacity) {}
+
+  const int tid;
+  std::vector<Event> ring;
+  std::atomic<std::uint64_t> head{0};  // total events ever written
+  std::uint64_t cleared = 0;           // events consumed by drain()/reset()
+  int depth = 0;                       // owner-thread nesting depth
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;  // never freed
+  std::uint64_t dropped = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive statics
+  return *r;
+}
+
+thread_local ThreadBuffer* tl_buf = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (tl_buf == nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(
+        std::make_unique<ThreadBuffer>(static_cast<int>(r.buffers.size())));
+    tl_buf = r.buffers.back().get();
+  }
+  return *tl_buf;
+}
+
+std::chrono::steady_clock::time_point anchor() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+void push_event(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+                int depth, std::int64_t counter) {
+  ThreadBuffer& b = local_buffer();
+  const std::uint64_t h = b.head.load(std::memory_order_relaxed);
+  Event& e = b.ring[h % kRingCapacity];
+  e.name = name;
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns;
+  e.tid = b.tid;
+  e.depth = depth;
+  e.counter = counter;
+  b.head.store(h + 1, std::memory_order_release);
+}
+
+void json_escape(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{env_enabled()};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor())
+          .count());
+}
+
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
+  const auto d = tp - anchor();
+  return d.count() < 0 ? 0
+                       : static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                                 .count());
+}
+
+void emit(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+          std::int64_t counter) {
+  if (!enabled()) return;
+  ThreadBuffer& b = local_buffer();
+  push_event(name, begin_ns, std::max(begin_ns, end_ns), b.depth, counter);
+}
+
+void Scope::begin(const char* name, std::int64_t counter) {
+  name_ = name;
+  counter_ = counter;
+  active_ = true;
+  local_buffer().depth++;
+  begin_ns_ = now_ns();
+}
+
+void Scope::end() {
+  const std::uint64_t t = now_ns();
+  ThreadBuffer& b = local_buffer();
+  b.depth--;
+  push_event(name_, begin_ns_, t, b.depth, counter_);
+}
+
+std::vector<Event> drain() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<Event> out;
+  for (auto& bp : r.buffers) {
+    ThreadBuffer& b = *bp;
+    const std::uint64_t h = b.head.load(std::memory_order_acquire);
+    std::uint64_t lo = h > kRingCapacity ? h - kRingCapacity : 0;
+    if (lo > b.cleared) r.dropped += lo - b.cleared;
+    lo = std::max(lo, b.cleared);
+    for (std::uint64_t i = lo; i < h; ++i) out.push_back(b.ring[i % kRingCapacity]);
+    b.cleared = h;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& bp : r.buffers)
+    bp->cleared = bp->head.load(std::memory_order_acquire);
+  r.dropped = 0;
+}
+
+std::uint64_t dropped() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t d = r.dropped;
+  for (auto& bp : r.buffers) {
+    const std::uint64_t h = bp->head.load(std::memory_order_acquire);
+    const std::uint64_t lo = h > kRingCapacity ? h - kRingCapacity : 0;
+    if (lo > bp->cleared) d += lo - bp->cleared;
+  }
+  return d;
+}
+
+std::string to_chrome_json(const std::vector<Event>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"";
+    json_escape(out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"pf\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  e.tid, e.begin_ns / 1e3, (e.end_ns - e.begin_ns) / 1e3);
+    out += buf;
+    if (e.counter >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"counter\":%lld}",
+                    static_cast<long long>(e.counter));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path) {
+  const std::vector<Event> events = drain();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string json = to_chrome_json(events);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+std::vector<FlameRow> aggregate(const std::vector<Event>& events) {
+  // Self time = duration minus time spent in same-thread nested children.
+  // Events are sorted by begin; a per-thread stack of open spans attributes
+  // each span's duration to its parent's child-time.
+  std::unordered_map<int, std::vector<size_t>> stacks;  // tid -> open event idx
+  std::vector<double> child_ns(events.size(), 0.0);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    auto& st = stacks[e.tid];
+    while (!st.empty() && events[st.back()].end_ns <= e.begin_ns) st.pop_back();
+    if (!st.empty() && e.end_ns <= events[st.back()].end_ns)
+      child_ns[st.back()] += static_cast<double>(e.end_ns - e.begin_ns);
+    st.push_back(i);
+  }
+
+  std::unordered_map<std::string, FlameRow> rows;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    FlameRow& r = rows[e.name];
+    r.name = e.name;
+    r.count++;
+    const double dur = static_cast<double>(e.end_ns - e.begin_ns);
+    r.total_ms += dur / 1e6;
+    r.self_ms += std::max(0.0, dur - child_ns[i]) / 1e6;
+  }
+  std::vector<FlameRow> out;
+  out.reserve(rows.size());
+  for (auto& kv : rows) out.push_back(std::move(kv.second));
+  std::sort(out.begin(), out.end(), [](const FlameRow& a, const FlameRow& b) {
+    return a.self_ms != b.self_ms ? a.self_ms > b.self_ms : a.name < b.name;
+  });
+  return out;
+}
+
+std::string flame_summary(const std::vector<Event>& events, int width) {
+  if (events.empty()) return "(no trace events)";
+  const std::vector<FlameRow> rows = aggregate(events);
+  std::vector<metrics::Bar> bars;
+  bars.reserve(rows.size());
+  char buf[64];
+  for (const FlameRow& r : rows) {
+    std::snprintf(buf, sizeof(buf), "x%llu total %.3f ms",
+                  static_cast<unsigned long long>(r.count), r.total_ms);
+    bars.push_back({r.name, r.self_ms, buf});
+  }
+  std::string out = "span self-time (ms):\n";
+  out += metrics::render_bars(bars, width);
+  return out;
+}
+
+}  // namespace pf::trace

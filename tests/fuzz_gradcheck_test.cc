@@ -120,6 +120,77 @@ TEST_P(FuzzP, RandomShapeShuffleGraph) {
       {x});
 }
 
+// Hybrid boundary layer: a dense conv feeding a factorized conv, the exact
+// composition at the K-1 boundary of a Pufferfish hybrid network. Checks
+// that gradients flow correctly through the dense -> low-rank seam for both
+// stride-1 and stride-2 factorized convs.
+TEST_P(FuzzP, HybridBoundaryFactorizedConv) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48611 + 17);
+  const int64_t c = 2;                           // input channels
+  const int64_t c1 = 2 + rng.uniform_int(2);     // dense conv out channels
+  const int64_t r = 1 + rng.uniform_int(2);      // factorization rank
+  const int64_t c2 = 2 + rng.uniform_int(2);     // factorized out channels
+  const int64_t hw = 5 + rng.uniform_int(2);
+  const int64_t stride = 1 + rng.uniform_int(2);
+  gradcheck(
+      [stride](const std::vector<Var>& v) {
+        // Dense layer, then the LowRankConv2d forward: thin conv with u,
+        // 1x1 mixing conv with v (see nn/factorized_conv).
+        Var h = conv2d(v[0], v[1], 1, 1);
+        h = tanh(h);
+        h = conv2d(conv2d(h, v[2], stride, 1), v[3], 1, 0);
+        return mean_all(mul(h, h));
+      },
+      {rng.randn(Shape{1, c, hw, hw}), rng.randn(Shape{c1, c, 3, 3}),
+       rng.randn(Shape{r, c1, 3, 3}), rng.randn(Shape{c2, r, 1, 1})});
+}
+
+// Low-rank LSTM gates: mirrors LowRankLSTMLayer's per-gate factorized
+// pre-activations (x V_ih U_ih^T + h V_hh U_hh^T), the four-way concat, the
+// shared bias, and the cell update, unrolled for two timesteps so gradients
+// flow through the recurrent h/c path. Checks every factor matrix, the
+// bias, and the initial state.
+TEST_P(FuzzP, LowRankLstmGates) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 92821 + 41);
+  const int64_t b = 2, d = 2, h = 2, r = 1;
+  // Leaves: x (2,b,d), h0, c0, then u_ih/v_ih/u_hh/v_hh for each of the
+  // four gates, then the fused bias (4h).
+  std::vector<Tensor> inputs = {rng.randn(Shape{2, b, d}),
+                                rng.randn(Shape{b, h}),
+                                rng.randn(Shape{b, h})};
+  for (int gate = 0; gate < 4; ++gate) {
+    inputs.push_back(rng.randn(Shape{h, r}));  // u_ih
+    inputs.push_back(rng.randn(Shape{d, r}));  // v_ih
+    inputs.push_back(rng.randn(Shape{h, r}));  // u_hh
+    inputs.push_back(rng.randn(Shape{h, r}));  // v_hh
+  }
+  inputs.push_back(rng.randn(Shape{4 * h}));
+  gradcheck(
+      [b, d, h](const std::vector<Var>& v) {
+        Var hs = v[1];
+        Var cs = v[2];
+        for (int64_t t = 0; t < 2; ++t) {
+          Var xt = reshape(slice(v[0], 0, t, 1), Shape{b, d});
+          std::vector<Var> parts;
+          for (size_t gate = 0; gate < 4; ++gate) {
+            const size_t k = 3 + gate * 4;
+            Var zi = matmul_nt(matmul(xt, v[k + 1]), v[k]);
+            Var zh = matmul_nt(matmul(hs, v[k + 3]), v[k + 2]);
+            parts.push_back(add(zi, zh));
+          }
+          Var gates = add(concat(parts, 1), v[19]);
+          Var gi = sigmoid(slice(gates, 1, 0 * h, h));
+          Var gf = sigmoid(slice(gates, 1, 1 * h, h));
+          Var gg = tanh(slice(gates, 1, 2 * h, h));
+          Var go = sigmoid(slice(gates, 1, 3 * h, h));
+          cs = add(mul(gf, cs), mul(gi, gg));
+          hs = mul(go, tanh(cs));
+        }
+        return mean_all(mul(hs, hs));
+      },
+      inputs);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzP, ::testing::Range(0, 12));
 
 }  // namespace

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,7 +28,12 @@ namespace pf::core {
 namespace {
 
 std::string tmp_dir(const std::string& name) {
-  const std::string d = std::string(::testing::TempDir()) + name;
+  // Process-unique suffix: under parallel ctest these tests run
+  // concurrently in the plain binary (one process per test) and the ASan
+  // binary (pf_tests_fault); a shared path lets one process's remove_all
+  // or snapshot writes corrupt the other's run.
+  const std::string d = std::string(::testing::TempDir()) + name + "_" +
+                        std::to_string(::getpid());
   std::filesystem::remove_all(d);  // stale snapshots from a previous run
   return d;
 }
@@ -79,7 +86,7 @@ TEST(Resume, TrainStateRoundTrips) {
   st.opt_tensors.push_back(std::move(t));
 
   const std::string path =
-      std::string(::testing::TempDir()) + "train_state_rt.bin";
+      std::string(::testing::TempDir()) + "train_state_rt.bin." + std::to_string(::getpid());
   save_train_state(st, path);
   const TrainState got = load_train_state(path);
 
@@ -115,7 +122,7 @@ TEST(Resume, TrainStateRejectsCorruptFile) {
   TrainState st;
   st.next_epoch = 1;
   const std::string path =
-      std::string(::testing::TempDir()) + "train_state_corrupt.bin";
+      std::string(::testing::TempDir()) + "train_state_corrupt.bin." + std::to_string(::getpid());
   save_train_state(st, path);
   {
     std::fstream f(path,
@@ -134,7 +141,7 @@ TEST(Resume, TrainStateRejectsCorruptFile) {
 
 TEST(Resume, MidWriteCrashPreservesPreviousTrainState) {
   const std::string path =
-      std::string(::testing::TempDir()) + "train_state_crash.bin";
+      std::string(::testing::TempDir()) + "train_state_crash.bin." + std::to_string(::getpid());
   TrainState good;
   good.next_epoch = 7;
   save_train_state(good, path);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -16,7 +18,11 @@ namespace pf::nn {
 namespace {
 
 std::string tmp_path(const char* name) {
-  return std::string(::testing::TempDir()) + name;
+  // getpid(): the same test code runs concurrently in the plain binary and
+  // the sanitizer ctest entries; a shared /tmp name lets one process
+  // clobber the other's files mid-run.
+  return std::string(::testing::TempDir()) + name + "." +
+         std::to_string(::getpid());
 }
 
 TEST(Checkpoint, RoundTripPreservesParamsAndBuffers) {

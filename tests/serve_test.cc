@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 #include <future>
@@ -20,12 +22,17 @@
 #include "models/resnet.h"
 #include "nn/serialize.h"
 #include "runtime/buffer_pool.h"
+#include "runtime/thread_pool.h"
 
 namespace pf::serve {
 namespace {
 
 std::string tmp_path(const char* name) {
-  return std::string(::testing::TempDir()) + name;
+  // getpid(): the same test code runs concurrently in the plain binary and
+  // the sanitizer ctest entries; a shared /tmp name lets one process
+  // clobber the other's files mid-run.
+  return std::string(::testing::TempDir()) + name + "." +
+         std::to_string(::getpid());
 }
 
 std::unique_ptr<nn::UnaryModule> tiny_resnet(uint64_t seed,
@@ -44,6 +51,11 @@ std::unique_ptr<models::LstmLm> tiny_lstm(uint64_t seed, int64_t rank = 0) {
   cfg.hidden = 16;
   return std::make_unique<models::LstmLm>(cfg, rng);
 }
+
+// Restores the env-default thread count when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { runtime::set_threads(0); }
+};
 
 bool bitwise_equal(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape() &&
@@ -378,6 +390,59 @@ TEST(Server, ConcurrentClientsGetBitwiseDeterministicResults) {
   EXPECT_EQ(rep.completed, static_cast<uint64_t>(inputs.size()));
   EXPECT_EQ(rep.rejected, 0u);
   EXPECT_GE(rep.mean_batch, 1.0);
+}
+
+TEST(Server, ResultsAndBatchHistogramIdenticalAcrossThreadCounts) {
+  // PF_THREADS determinism sweep for the serving path: with one worker and
+  // the whole workload queued before start(), batch assembly is a pure
+  // function of the request order -- so the ServeStats batch histogram AND
+  // every response must come out identical whether the kernel pool has 1 or
+  // 4 threads (worker-loop GEMMs take the inline-serial path either way).
+  ThreadGuard tg;
+  constexpr int kRequests = 14;  // 3 full batches of 4 + one partial of 2
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kRequests; ++i) {
+    Rng rng(2000 + static_cast<uint64_t>(i));
+    inputs.push_back(rng.randn(Shape{3, 8, 8}));
+  }
+  auto run = [&](int threads) {
+    runtime::set_threads(threads);
+    FrozenModel frozen(tiny_resnet(21, 2), "sweep-test");
+    frozen.prime(Shape{3, 8, 8}, 4);
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.batcher.max_batch = 4;
+    cfg.batcher.deadline_ms = 0;  // greedy: take whatever is queued
+    cfg.batcher.max_depth = kRequests;
+    metrics::ServeStats stats;
+    stats.begin();
+    Server server(frozen, cfg, &stats);
+    // Queue the complete workload before the worker exists.
+    std::vector<RequestPtr> reqs;
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < kRequests; ++i) {
+      reqs.push_back(make_request(static_cast<uint64_t>(i),
+                                  inputs[static_cast<size_t>(i)]));
+      done.push_back(reqs.back()->done.get_future());
+      EXPECT_TRUE(server.submit(reqs.back()));
+    }
+    server.start();
+    for (auto& f : done) f.wait();
+    server.stop();
+    std::vector<Tensor> outputs;
+    for (const RequestPtr& r : reqs) outputs.push_back(r->output);
+    return std::make_pair(outputs, stats.report().batch_hist);
+  };
+  const auto [out1, hist1] = run(1);
+  const auto [out4, hist4] = run(4);
+
+  EXPECT_EQ(hist1, hist4);
+  ASSERT_EQ(hist1.size(), 5u);  // max recorded batch size 4
+  EXPECT_EQ(hist1[4], 3u);
+  EXPECT_EQ(hist1[2], 1u);
+  ASSERT_EQ(out1.size(), out4.size());
+  for (size_t i = 0; i < out1.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(out1[i], out4[i])) << "request " << i;
 }
 
 TEST(Server, ClosedLoopLoadGenCompletesAll) {

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 #include <cmath>
 
+#include "compress/compressor.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
+#include "runtime/shm_cluster.h"
 
 namespace pf::core {
 namespace {
@@ -193,6 +195,58 @@ TEST(TrainMt, PufferfishPathRuns) {
   EXPECT_GT(r.svd_seconds, 0.0);
   EXPECT_GT(r.params, 0);
   EXPECT_TRUE(std::isfinite(r.train_ppl));
+}
+
+// ---------------- EpochBreakdown accounting ----------------
+
+// The measured shm executor's breakdown must actually add up: every
+// component is a per-worker average of disjoint wall intervals, other_s is
+// the genuine remainder, and total() == wall_s to timer resolution. These
+// assertions are what the bench tables (bench_fig4 measured columns) rest
+// on; before worker 0's reduce time was pulled out of its comm window the
+// reducer path double-counted encode/decode and hid it in the other_s clamp.
+void expect_breakdown_sums_to_wall(const dist::EpochBreakdown& b) {
+  EXPECT_GE(b.compute_s, 0.0);
+  EXPECT_GE(b.encode_s, 0.0);
+  EXPECT_GE(b.comm_s, 0.0);
+  EXPECT_GE(b.decode_s, 0.0);
+  EXPECT_GE(b.other_s, 0.0);
+  EXPECT_GT(b.wall_s, 0.0);
+  // Components are disjoint, so their sum (excluding the remainder) cannot
+  // exceed the measured wall; 0.5% + 1 ms slack for timer resolution.
+  const double parts = b.compute_s + b.encode_s + b.comm_s + b.decode_s;
+  EXPECT_LE(parts, b.wall_s * 1.005 + 1e-3);
+  // And with other_s = wall - parts, the total reproduces the wall exactly
+  // (a clamped-away deficit would show up here as total > wall).
+  EXPECT_NEAR(b.total(), b.wall_s, b.wall_s * 0.005 + 1e-3);
+}
+
+TEST(EpochBreakdown, ShmRingPathSumsToMeasuredWall) {
+  auto ds = tiny_images();
+  runtime::ShmClusterConfig cfg;
+  cfg.workers = 2;
+  cfg.train.epochs = 1;
+  cfg.train.global_batch = 16;
+  cfg.train.seed = 5;
+  runtime::ShmDataParallelTrainer shm(resnet_factory(false), nullptr, cfg);
+  const dist::DistEpochRecord rec = shm.train_epoch(ds, 0);
+  expect_breakdown_sums_to_wall(rec.breakdown);
+}
+
+TEST(EpochBreakdown, ShmReducerPathSumsToMeasuredWall) {
+  auto ds = tiny_images();
+  runtime::ShmClusterConfig cfg;
+  cfg.workers = 2;
+  cfg.train.epochs = 1;
+  cfg.train.global_batch = 16;
+  cfg.train.seed = 7;
+  runtime::ShmDataParallelTrainer shm(
+      resnet_factory(false),
+      std::make_unique<compress::PowerSgdReducer>(1, cfg.train.seed), cfg);
+  const dist::DistEpochRecord rec = shm.train_epoch(ds, 0);
+  expect_breakdown_sums_to_wall(rec.breakdown);
+  // The reducer path actually exercised encode/decode accounting.
+  EXPECT_GT(rec.breakdown.encode_s + rec.breakdown.decode_s, 0.0);
 }
 
 }  // namespace
