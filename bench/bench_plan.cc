@@ -1,0 +1,209 @@
+// The `pf plan` auto-tuner exercised end to end: best-config tables across
+// simulated hardware profiles, and a calibrated section that measures THIS
+// machine (ring alpha/beta from the trainer's own bucketed reduce, real
+// fwd+bwd+opt step time), re-plans on the measured profile, and checks the
+// modeled epoch time of the chosen config against a real
+// ShmDataParallelTrainer epoch.
+//
+// The profile grid is the paper's Section 5 story quantified: on slow links
+// (10 Gbps cloud, 1 Gbps commodity) hybrid low-rank training wins on
+// modeled time-to-accuracy; on 100 Gbps RDMA the dense baseline closes in
+// because there is little communication left to save.
+//
+// --grid-only skips the measured section (used by the pf_bench_plan_smoke
+// CI entry when a fast pass is wanted); --json[=path] appends the
+// machine-readable report.
+#include <cmath>
+#include <thread>
+
+#include "common.h"
+#include "plan/calibrate.h"
+#include "plan/comm_sim.h"
+#include "plan/planner.h"
+#include "runtime/shm_cluster.h"
+
+using namespace bench;
+namespace plan = pf::plan;
+
+namespace {
+
+plan::PlannerRequest paper_scale_request(const pf::dist::HardwareProfile& hw) {
+  plan::PlannerRequest req;
+  req.model = "resnet18";
+  req.width = 1.0;
+  req.classes = 10;
+  req.input_hw = 32;
+  req.per_worker_batch = 32;
+  req.epochs = 8;
+  req.images_per_epoch = 50000;
+  req.accuracy_floor = 0.96;
+  req.hw = hw;
+  return req;
+}
+
+void report_best(JsonReport& report, const std::string& section,
+                 const plan::Plan& p) {
+  report.section(section);
+  if (!p.has_feasible()) {
+    report.kv("feasible", "none");
+    return;
+  }
+  const plan::CandidateEval& b = p.best();
+  report.kv("config", b.config_string());
+  report.kv("method", b.method);
+  report.kv("workers", static_cast<double>(b.workers));
+  report.kv("bucket_bytes", static_cast<double>(b.bucket_bytes));
+  report.kv("predicted_acc", b.predicted_acc);
+  report.kv("epoch_s", b.final_epoch_s);
+  report.kv("total_s", b.total_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  banner("pf plan: cost-model auto-tuner over hardware profiles",
+         "Pufferfish Tables 19/20 + Figure 4 as a decision procedure",
+         "alpha-beta simulated profiles; calibrated = this machine");
+  std::string json_path;
+  const bool want_json = JsonReport::wants_json(argc, argv, &json_path);
+  JsonReport report;
+  bool grid_only = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--grid-only") grid_only = true;
+
+  // --- Section 1: simulated profile grid ------------------------------
+  const pf::dist::HardwareProfile profiles[] = {
+      pf::dist::HardwareProfile::cloud_10g(),
+      pf::dist::HardwareProfile::rdma_100g(),
+      pf::dist::HardwareProfile::commodity_1g(),
+  };
+  metrics::Table grid({"profile", "best config", "method", "p", "acc",
+                       "total (model s)", "vs vanilla-allreduce"});
+  for (const pf::dist::HardwareProfile& hw : profiles) {
+    const plan::PlannerRequest req = paper_scale_request(hw);
+    const plan::Plan p = plan::make_plan(req);
+    std::printf("%s", p.summary(6).c_str());
+    std::printf("\n");
+    report_best(report, "profile:" + hw.name, p);
+
+    // The vanilla + plain-allreduce candidate at the same worker count as
+    // the winner: the "no planner" baseline a user would run.
+    const plan::CandidateEval& b = p.best();
+    double vanilla_total = 0;
+    for (const plan::CandidateEval& c : p.candidates)
+      if (c.rank_ratio >= 1.0 && c.method == "allreduce" &&
+          c.workers == b.workers && c.bucket_bytes == b.bucket_bytes)
+        vanilla_total = c.total_s;
+    grid.add_row({hw.name, b.config_string(), b.method,
+                  metrics::fmt(b.workers, 0), metrics::fmt(b.predicted_acc, 3),
+                  metrics::fmt(b.total_s, 1),
+                  vanilla_total > 0
+                      ? metrics::fmt_ratio(vanilla_total / b.total_s)
+                      : "-"});
+  }
+  std::printf("Best plan per profile (modeled time-to-%0.2f-accuracy):\n",
+              0.96);
+  grid.print();
+
+  if (grid_only) {
+    if (want_json) report.emit("plan", json_path);
+    return 0;
+  }
+
+  // --- Section 2: calibrated on this machine --------------------------
+  std::printf("\nCalibrating this machine...\n");
+  const int workers = 4;
+  const plan::LinkCalibration link = plan::calibrate_link(workers, 3);
+  const double gemm_flops = plan::calibrate_gemm_flops(2);
+  std::printf(
+      "[calibrate] shm ring (p=%d): alpha=%.3g s  B=%.3g GB/s  "
+      "(fit residual %.1f%%)\n",
+      link.workers, link.alpha_s, link.bandwidth_bytes_per_s / 1e9,
+      100.0 * link.max_residual);
+  std::printf("[calibrate] gemm: %.2f GFLOP/s\n", gemm_flops / 1e9);
+
+  pf::dist::HardwareProfile machine;
+  machine.name = "calibrated";
+  machine.alpha_s = link.alpha_s;
+  machine.bandwidth_bytes_per_s = link.bandwidth_bytes_per_s;
+  machine.workers_per_node = 1;
+  machine.flops_per_s = gemm_flops;
+  // The shm workers time-share this host's cores (see HardwareProfile).
+  machine.compute_slots =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  // Bench-scale model (the size the repo's training benches actually run).
+  const double width = 0.25;
+  const int64_t hw_px = 16, batch = 32;
+  const double step_s = plan::measure_step_seconds(
+      plan::vision_factory("resnet18", width, 10, 1.0, 0), batch, hw_px, 3);
+  std::printf("[calibrate] vanilla resnet18 w=%.3g step(b=%lld): %.4f s\n",
+              width, static_cast<long long>(batch), step_s);
+
+  plan::PlannerRequest creq;
+  creq.model = "resnet18";
+  creq.width = width;
+  creq.input_hw = hw_px;
+  creq.per_worker_batch = batch;
+  creq.epochs = 8;
+  creq.images_per_epoch = 1024;
+  creq.accuracy_floor = 0.96;
+  creq.hw = machine;
+  creq.overlap = false;  // the shm executor reduces synchronously
+  creq.measured_step_seconds = step_s;
+  creq.workers = {workers};
+  const plan::Plan cplan = plan::make_plan(creq);
+  std::printf("\n%s\n", cplan.summary(6).c_str());
+  report_best(report, "calibrated", cplan);
+
+  // --- Modeled vs measured: one real epoch of the chosen config -------
+  const plan::CandidateEval& best = cplan.best();
+  const plan::ModelCosts chosen = plan::describe_model(
+      "resnet18", width, 10, hw_px, best.rank_ratio, best.hybrid_k);
+  // Refine compute with a step measurement of the chosen shape itself (the
+  // planner scales the vanilla measurement by FLOP ratio; the direct
+  // measurement also sees shape-dependent kernel efficiency).
+  const double chosen_step_s = plan::measure_step_seconds(
+      plan::vision_factory("resnet18", width, 10, best.rank_ratio,
+                           best.hybrid_k),
+      batch, hw_px, 3);
+  const double modeled_epoch = plan::modeled_epoch_seconds(
+      chosen, plan::method_costs("allreduce"), workers, best.bucket_bytes,
+      batch, creq.images_per_epoch, machine, /*overlap=*/false,
+      chosen_step_s);
+
+  pf::runtime::ShmClusterConfig scfg;
+  scfg.workers = workers;
+  scfg.train.global_batch = batch * workers;
+  scfg.train.epochs = 1;
+  scfg.train.threads = 1;  // one compute thread per worker replica
+  pf::runtime::ShmDataParallelTrainer trainer(
+      plan::vision_factory("resnet18", width, 10, best.rank_ratio,
+                           best.hybrid_k),
+      nullptr, scfg);
+  pf::data::SyntheticImages ds =
+      cifar_like(10, hw_px,
+                 /*train=*/static_cast<int64_t>(creq.images_per_epoch),
+                 /*test=*/32);
+  const pf::dist::DistEpochRecord rec = trainer.train_epoch(ds, 0);
+  const double measured_epoch = rec.breakdown.wall_s;
+  const double rel_err =
+      std::abs(modeled_epoch - measured_epoch) / measured_epoch;
+  std::printf(
+      "verify: chosen config %s  modeled epoch %.3f s  measured shm epoch "
+      "%.3f s  (|diff| %.1f%%, acceptance <= 15%%)\n",
+      best.config_string().c_str(), modeled_epoch, measured_epoch,
+      100.0 * rel_err);
+
+  report.section("verify");
+  report.kv("config", best.config_string());
+  report.kv("modeled_epoch_s", modeled_epoch);
+  report.kv("measured_epoch_s", measured_epoch);
+  report.kv("rel_err", rel_err);
+  report.kv("link_alpha_s", link.alpha_s);
+  report.kv("link_bandwidth_bytes_per_s", link.bandwidth_bytes_per_s);
+  report.kv("gemm_flops_per_s", gemm_flops);
+
+  if (want_json) report.emit("plan", json_path);
+  return 0;
+}

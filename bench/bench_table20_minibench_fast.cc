@@ -26,10 +26,13 @@ double timed_forward(nn::UnaryModule& model, const Tensor& batch, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Table 20 (appendix J): mini-benchmark, speed-optimized regime",
          "Pufferfish Table 20",
          "cudnn.benchmark -> forward-only, large-batch GEMM regime");
+  std::string json_path;
+  const bool want_json = JsonReport::wants_json(argc, argv, &json_path);
+  JsonReport report;
 
   Rng rng(5);
   struct Row {
@@ -68,8 +71,13 @@ int main() {
     t.add_row({rows[i].name, metrics::fmt(secs, 4),
                i % 2 == 1 ? metrics::fmt_ratio(vanilla_mean / secs) : "-",
                paper_speed[i]});
+    report.section(rows[i].name);
+    report.kv("fwd_batch64_s", secs);
+    if (i % 2 == 1) report.kv("speedup_vs_vanilla", vanilla_mean / secs);
+    report.kv("paper_speedup", paper_speed[i]);
   }
   t.print();
+  if (want_json) report.emit("table20_minibench_fast", json_path);
   std::printf("\nAlloc traffic per timed section (pool counters):\n");
   for (const std::string& line : alloc_lines)
     std::printf("[alloc] %s\n", line.c_str());

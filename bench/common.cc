@@ -139,4 +139,85 @@ std::string cell(const std::vector<double>& values, int precision) {
   return metrics::fmt_mean_std(metrics::mean_std(values), precision);
 }
 
+bool JsonReport::wants_json(int argc, char** argv, std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      if (path != nullptr) path->clear();
+      return true;
+    }
+    if (a.rfind("--json=", 0) == 0) {
+      if (path != nullptr) *path = a.substr(7);
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonReport::section(const std::string& name) {
+  sections_.push_back({name, {}});
+}
+
+void JsonReport::kv(const std::string& key, double value) {
+  if (sections_.empty()) section("default");
+  Entry e;
+  e.key = key;
+  e.is_num = true;
+  e.num = value;
+  sections_.back().entries.push_back(std::move(e));
+}
+
+void JsonReport::kv(const std::string& key, const std::string& value) {
+  if (sections_.empty()) section("default");
+  Entry e;
+  e.key = key;
+  e.str = value;
+  sections_.back().entries.push_back(std::move(e));
+}
+
+std::string JsonReport::to_json(const std::string& bench_name) const {
+  std::string out = "{\"bench\":\"";
+  trace::json_escape(out, bench_name.c_str());
+  out += "\",\"sections\":[";
+  char buf[64];
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    if (s != 0) out += ',';
+    out += "{\"name\":\"";
+    trace::json_escape(out, sections_[s].name.c_str());
+    out += "\",\"values\":{";
+    const auto& entries = sections_[s].entries;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      trace::json_escape(out, entries[i].key.c_str());
+      out += "\":";
+      if (entries[i].is_num) {
+        // %.12g round-trips the doubles benches report while staying
+        // byte-stable for equal inputs.
+        std::snprintf(buf, sizeof(buf), "%.12g", entries[i].num);
+        out += buf;
+      } else {
+        out += '"';
+        trace::json_escape(out, entries[i].str.c_str());
+        out += '"';
+      }
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool JsonReport::emit(const std::string& bench_name,
+                      const std::string& path) const {
+  const std::string json = to_json(bench_name);
+  if (path.empty() || path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return os.good();
+}
+
 }  // namespace bench

@@ -76,4 +76,40 @@ void trace_section_end(const std::string& label,
 // "93.89 +- 0.14"-style cell from per-seed values.
 std::string cell(const std::vector<double>& values, int precision = 2);
 
+// Machine-readable bench output: a sectioned key/value report emitted as
+// JSON (insertion-ordered, fixed formatting -> byte-stable across runs of
+// deterministic benches). Benches opt in via `--json[=path]` on their
+// command line; with no path (or "-") the JSON goes to stdout after the
+// human tables. Strings are escaped with trace::json_escape -- the same
+// writer the chrome://tracing exporter uses.
+class JsonReport {
+ public:
+  // Scans argv for --json or --json=PATH. Returns true when present and
+  // stores the path ("" = stdout) through `path` if non-null.
+  static bool wants_json(int argc, char** argv, std::string* path = nullptr);
+
+  void section(const std::string& name);  // subsequent kv() rows go here
+  void kv(const std::string& key, double value);
+  void kv(const std::string& key, const std::string& value);
+
+  // {"bench":"...","sections":[{"name":"...","values":{...}},...]}
+  std::string to_json(const std::string& bench_name) const;
+  // Serialize and write to `path` ("" or "-" = stdout). Returns false on
+  // I/O failure.
+  bool emit(const std::string& bench_name, const std::string& path = "") const;
+
+ private:
+  struct Entry {
+    std::string key;
+    bool is_num = false;
+    double num = 0;
+    std::string str;
+  };
+  struct Section {
+    std::string name;
+    std::vector<Entry> entries;
+  };
+  std::vector<Section> sections_;
+};
+
 }  // namespace bench

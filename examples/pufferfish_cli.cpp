@@ -7,6 +7,8 @@
 //   pufferfish_cli eval   --model resnet18 --width 0.125 \
 //                         --rank-ratio 0.25 --checkpoint out.ckpt
 //   pufferfish_cli inspect --model vgg19          (params/MACs, paper scale)
+//   pufferfish_cli plan   --model resnet18 --floor 0.96 --profile 10g
+//                                          (cost-model auto-tuner, src/plan)
 //
 // Models: vgg19 | resnet18 | resnet50 | wrn50. `--rank-ratio 0` trains the
 // vanilla model; anything > 0 runs the full Pufferfish pipeline (Algorithm
@@ -22,6 +24,8 @@
 #include "models/resnet.h"
 #include "models/vgg.h"
 #include "nn/serialize.h"
+#include "plan/calibrate.h"
+#include "plan/planner.h"
 #include "runtime/thread_pool.h"
 
 using namespace pf;
@@ -67,7 +71,14 @@ int usage() {
       "                         [--threads T=PF_THREADS] [--checkpoint PATH]\n"
       "  pufferfish_cli eval    --model M --checkpoint PATH [--width W]\n"
       "                         [--rank-ratio R] [--classes C]\n"
-      "  pufferfish_cli inspect --model M   (paper-scale params & MACs)\n");
+      "  pufferfish_cli inspect --model M   (paper-scale params & MACs)\n"
+      "  pufferfish_cli plan    --model M [--floor A=0.96] [--width W=1.0]\n"
+      "                         [--profile 10g|100g|1g|calibrated]\n"
+      "                         [--workers P] [--batch B=32] [--epochs N=8]\n"
+      "                         [--classes C=10] [--top N=8]\n"
+      "          picks (rank ratio, hybrid-K, warm-up, bucket, workers,\n"
+      "          reducer) minimizing modeled time-to-accuracy; 'calibrated'\n"
+      "          measures this machine's ring + step time first\n");
   return 2;
 }
 
@@ -237,6 +248,54 @@ int cmd_inspect(const Args& a) {
   return 0;
 }
 
+int cmd_plan(const Args& a) {
+  plan::PlannerRequest req;
+  req.model = a.get("model", "resnet18");
+  req.width = a.get_d("width", 1.0);
+  req.classes = a.get_i("classes", 10);
+  req.input_hw = a.get_i("input-hw", 32);
+  req.per_worker_batch = a.get_i("batch", 32);
+  req.epochs = a.get_i("epochs", 8);
+  req.images_per_epoch = a.get_d("images", 50000);
+  req.accuracy_floor = a.get_d("floor", 0.96);
+
+  const std::string profile = a.get("profile", "10g");
+  if (profile == "10g") {
+    req.hw = dist::HardwareProfile::cloud_10g();
+  } else if (profile == "100g") {
+    req.hw = dist::HardwareProfile::rdma_100g();
+  } else if (profile == "1g") {
+    req.hw = dist::HardwareProfile::commodity_1g();
+  } else if (profile == "calibrated") {
+    // Measure this machine: the trainer's shm ring for alpha/beta, the GEMM
+    // kernel for flops, one real training step for compute. Plans from a
+    // calibrated profile describe THIS host, not the EC2 presets.
+    const int cal_workers = a.get_i("workers", 4);
+    std::printf("calibrating (p=%d)...\n", cal_workers);
+    req.hw = plan::calibrated_profile(cal_workers, 3);
+    req.overlap = false;  // the shm executor reduces synchronously
+    const int64_t step_hw = req.model == "vgg19" ? 32 : 16;
+    req.input_hw = a.get_i("input-hw", static_cast<int>(step_hw));
+    req.measured_step_seconds = plan::measure_step_seconds(
+        plan::vision_factory(req.model, req.width, req.classes, 1.0, 0),
+        req.per_worker_batch, req.input_hw, 3);
+    req.workers = {cal_workers};
+    std::printf(
+        "calibrated: alpha=%.3g s B=%.3g GB/s gemm=%.2f GFLOP/s "
+        "step=%.4f s\n",
+        req.hw.alpha_s, req.hw.bandwidth_bytes_per_s / 1e9,
+        req.hw.flops_per_s / 1e9, req.measured_step_seconds);
+  } else {
+    return usage();
+  }
+  if (a.flags.count("workers") != 0u)
+    req.workers = {a.get_i("workers", 16)};
+
+  const plan::Plan p = plan::make_plan(req);
+  std::printf("%s", p.summary(a.get_i("top", 8)).c_str());
+  return p.has_feasible() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +304,7 @@ int main(int argc, char** argv) {
     if (a.command == "train") return cmd_train(a);
     if (a.command == "eval") return cmd_eval(a);
     if (a.command == "inspect") return cmd_inspect(a);
+    if (a.command == "plan") return cmd_plan(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,6 +5,14 @@
 
 namespace pf::dist {
 
+CostModel cost_model_from(const HardwareProfile& hw, int nodes) {
+  CostModel cm;
+  cm.nodes = nodes;
+  cm.bandwidth_bytes_per_s = hw.bandwidth_bytes_per_s;
+  cm.latency_s = hw.alpha_s;
+  return cm;
+}
+
 double ddp_epoch_seconds(double compute_s, int64_t grad_bytes,
                          const CostModel& cm, int64_t bucket_bytes) {
   // Split compute into forward (~1/3) and backward (~2/3, producing

@@ -14,12 +14,16 @@
 
 #include <cstdint>
 
+#include "dist/hardware.h"
+
 namespace pf::dist {
 
 struct CostModel {
   int nodes = 16;
-  double bandwidth_bytes_per_s = 10e9 / 8;  // 10 Gbps links (EC2 p3.2xlarge)
-  double latency_s = 50e-6;                 // per ring step
+  // Defaults derive from the shared HardwareProfile constants (hardware.h),
+  // so calibration updates one place instead of every model independently.
+  double bandwidth_bytes_per_s = kDefaultLinkBandwidthBytesPerS;
+  double latency_s = kDefaultLinkLatencyS;  // per ring step
 
   double allreduce_seconds(int64_t bytes, int n_calls = 1) const {
     const double p = nodes;
@@ -37,6 +41,9 @@ struct CostModel {
     return n_calls * alpha + beta;
   }
 };
+
+// Projects a HardwareProfile's inter-node link onto the closed-form model.
+CostModel cost_model_from(const HardwareProfile& hw, int nodes);
 
 // PyTorch-DDP-style bucketed overlap: backward produces gradient buckets of
 // `bucket_bytes` which are allreduced while later layers still compute.

@@ -1,0 +1,32 @@
+#include "dist/hardware.h"
+
+namespace pf::dist {
+
+HardwareProfile HardwareProfile::cloud_10g() {
+  HardwareProfile p;
+  p.name = "cloud-10g";
+  return p;  // the repo-wide defaults ARE this profile
+}
+
+HardwareProfile HardwareProfile::rdma_100g() {
+  HardwareProfile p;
+  p.name = "rdma-100g";
+  p.alpha_s = 5e-6;
+  p.bandwidth_bytes_per_s = 100e9 / 8;
+  p.intra_alpha_s = 2e-6;
+  p.intra_bandwidth_bytes_per_s = 300e9 / 8;
+  p.workers_per_node = 8;
+  p.flops_per_s = 50e9;
+  return p;
+}
+
+HardwareProfile HardwareProfile::commodity_1g() {
+  HardwareProfile p;
+  p.name = "commodity-1g";
+  p.alpha_s = 200e-6;
+  p.bandwidth_bytes_per_s = 1e9 / 8;
+  p.flops_per_s = 50e9;
+  return p;
+}
+
+}  // namespace pf::dist

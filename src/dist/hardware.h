@@ -1,0 +1,60 @@
+// HardwareProfile: one description of a cluster's links and compute that
+// every communication model in the repo derives its constants from.
+//
+// Before this header existed, dist::CostModel and dist::RingLink each
+// hardcoded "10 Gbps / 50 us" independently; calibration (src/plan) would
+// have had to update both. Now the shared defaults live here once:
+// CostModel and RingLink default-construct from kDefaultLink*, and
+// cost_model_from / link_from project a full profile onto them.
+//
+// A profile describes a two-level topology: `workers_per_node` ranks share
+// a fast intra-node link; nodes talk over the slower inter-node link.
+// workers_per_node == 1 degenerates to the flat single-level ring every
+// pre-existing model assumed. `flops_per_s` is the effective training
+// throughput used to convert model FLOP counts into modeled compute time
+// (src/plan/model_costs.h); it is a measured, achieved rate -- not peak --
+// and the calibration in src/plan/calibrate.h overwrites it per machine.
+#pragma once
+
+#include <string>
+
+namespace pf::dist {
+
+// The single source of the repo-wide default link constants (EC2
+// p3.2xlarge-class: 10 Gbps ethernet, 50 us per ring step).
+inline constexpr double kDefaultLinkLatencyS = 50e-6;
+inline constexpr double kDefaultLinkBandwidthBytesPerS = 10e9 / 8;
+
+struct HardwareProfile {
+  std::string name = "cloud-10g";
+
+  // Inter-node link (the only link of a flat topology).
+  double alpha_s = kDefaultLinkLatencyS;
+  double bandwidth_bytes_per_s = kDefaultLinkBandwidthBytesPerS;
+
+  // Intra-node link for two-level topologies (NVLink/shm class). Unused
+  // while workers_per_node == 1.
+  double intra_alpha_s = 5e-6;
+  double intra_bandwidth_bytes_per_s = 100e9 / 8;
+  int workers_per_node = 1;
+
+  // Effective (achieved) training compute throughput per worker.
+  double flops_per_s = 50e9;
+
+  // Concurrent compute slots the whole job shares. 0 (the cluster default)
+  // means every rank has its own dedicated compute; a positive value means
+  // ranks beyond it time-share -- the shm executor's reality on this host,
+  // where p worker threads on c cores compute at ceil(p/c) x the
+  // single-replica step time. Calibration sets this to the host core count.
+  int compute_slots = 0;
+
+  bool hierarchical() const { return workers_per_node > 1; }
+
+  // The profile grid bench_plan sweeps (Table 19/20 style trade-off study
+  // across link generations).
+  static HardwareProfile cloud_10g();      // the paper's EC2 setup
+  static HardwareProfile rdma_100g();      // RDMA-class fabric, 8 ranks/node
+  static HardwareProfile commodity_1g();   // commodity gigabit lab
+};
+
+}  // namespace pf::dist

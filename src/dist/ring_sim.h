@@ -13,12 +13,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "dist/hardware.h"
+
 namespace pf::dist {
 
 struct RingLink {
-  double latency_s = 50e-6;
-  double bandwidth_bytes_per_s = 10e9 / 8;
+  // Defaults derive from the shared HardwareProfile constants (hardware.h);
+  // they must stay in lockstep with CostModel's for the closed-form vs
+  // event-sim cross-check (tests/plan_test.cc) to be meaningful.
+  double latency_s = kDefaultLinkLatencyS;
+  double bandwidth_bytes_per_s = kDefaultLinkBandwidthBytesPerS;
 };
+
+// Projects a HardwareProfile's inter-node link onto a homogeneous ring link.
+RingLink link_from(const HardwareProfile& hw);
 
 struct RingSimResult {
   double makespan_s = 0;       // total collective time

@@ -1,0 +1,127 @@
+#include "plan/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "autograd/ops.h"
+#include "metrics/metrics.h"
+#include "optim/optim.h"
+#include "runtime/shm_cluster.h"
+#include "tensor/matmul.h"
+#include "tensor/rng.h"
+
+namespace pf::plan {
+
+LinkCalibration fit_alpha_beta(
+    const std::vector<std::pair<int64_t, double>>& samples, int p) {
+  if (samples.size() < 2)
+    throw std::runtime_error("fit_alpha_beta: need >= 2 samples");
+  if (p < 2) throw std::runtime_error("fit_alpha_beta: need p >= 2");
+  // Ordinary least squares on t = a + b n, then invert the closed form:
+  //   a = 2(p-1) alpha          => alpha = a / (2(p-1))
+  //   b = 2(p-1)/(p B)          => B     = 2(p-1) / (p b)
+  const double N = static_cast<double>(samples.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [bytes, secs] : samples) {
+    const double x = static_cast<double>(bytes);
+    sx += x;
+    sy += secs;
+    sxx += x * x;
+    sxy += x * secs;
+  }
+  const double denom = N * sxx - sx * sx;
+  if (denom <= 0) throw std::runtime_error("fit_alpha_beta: degenerate xs");
+  const double b = (N * sxy - sx * sy) / denom;
+  const double a = (sy - b * sx) / N;
+  const double pd = p;
+
+  LinkCalibration out;
+  out.workers = p;
+  // Clamp to physical values: a noisy in-memory measurement can produce a
+  // (slightly) negative intercept.
+  out.alpha_s = std::max(a / (2.0 * (pd - 1)), 1e-9);
+  out.bandwidth_bytes_per_s =
+      b > 0 ? 2.0 * (pd - 1) / (pd * b) : 1e15;  // "free" link if flat fit
+  for (const auto& [bytes, secs] : samples) {
+    const double fit = a + b * static_cast<double>(bytes);
+    if (secs > 0)
+      out.max_residual =
+          std::max(out.max_residual, std::abs(fit - secs) / secs);
+  }
+  return out;
+}
+
+LinkCalibration calibrate_link(int workers, int reps) {
+  workers = std::max(2, workers);
+  // Geometric payload ladder, 256 KB .. 16 MB: small enough to stay fast,
+  // wide enough that the bandwidth term dominates the top end.
+  const int64_t bucket_bytes = 256 << 10;  // ShmClusterConfig default
+  std::vector<std::pair<int64_t, double>> samples;
+  for (int64_t bytes : {int64_t{256} << 10, int64_t{1} << 20, int64_t{4} << 20,
+                        int64_t{16} << 20}) {
+    const int64_t elems = bytes / static_cast<int64_t>(sizeof(float));
+    samples.emplace_back(
+        bytes, runtime::timed_ring_allreduce(workers, elems, bucket_bytes,
+                                             reps));
+  }
+  return fit_alpha_beta(samples, workers);
+}
+
+double calibrate_gemm_flops(int reps) {
+  reps = std::max(1, reps);
+  const int64_t n = 256;
+  Rng rng(29);
+  const Tensor a = rng.randn(Shape{n, n});
+  const Tensor b = rng.randn(Shape{n, n});
+  Tensor c = matmul(a, b);  // warm-up
+  metrics::Timer t;
+  for (int r = 0; r < reps; ++r) c = matmul(a, b);
+  const double secs = t.seconds() / reps;
+  return 2.0 * static_cast<double>(n) * n * n / std::max(secs, 1e-12);
+}
+
+double measure_step_seconds(const core::VisionModelFactory& make_model,
+                            int64_t batch, int64_t hw, int reps) {
+  reps = std::max(1, reps);
+  Rng rng(31);
+  std::unique_ptr<nn::UnaryModule> model = make_model(rng);
+  model->train(true);
+  optim::SGD opt(model->parameters(), /*lr=*/0.05f, /*momentum=*/0.9f,
+                 /*weight_decay=*/1e-4f);
+  Rng data_rng(37);
+  const Tensor images = data_rng.randn(Shape{batch, 3, hw, hw});
+  std::vector<int64_t> labels(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i)
+    labels[static_cast<size_t>(i)] = i % 10;
+  // One full training step -- the optimizer update is part of what the shm
+  // trainer's measured epoch contains, so it belongs in the calibration.
+  auto step = [&] {
+    model->zero_grad();
+    ag::Var loss =
+        ag::cross_entropy(model->forward(ag::leaf(images)), labels, 0.0f);
+    ag::backward(loss);
+    opt.step();
+  };
+  step();  // warm-up
+  metrics::Timer t;
+  for (int r = 0; r < reps; ++r) step();
+  return t.seconds() / reps;
+}
+
+dist::HardwareProfile calibrated_profile(int workers, int reps) {
+  const LinkCalibration link = calibrate_link(workers, reps);
+  dist::HardwareProfile p;
+  p.name = "calibrated";
+  p.alpha_s = link.alpha_s;
+  p.bandwidth_bytes_per_s = link.bandwidth_bytes_per_s;
+  p.workers_per_node = 1;  // shared-memory ring is one flat level
+  p.flops_per_s = calibrate_gemm_flops(reps);
+  // shm workers are threads on THIS host: they share its cores, unlike
+  // cluster ranks with dedicated compute.
+  p.compute_slots = std::max(1u, std::thread::hardware_concurrency());
+  return p;
+}
+
+}  // namespace pf::plan

@@ -1,0 +1,67 @@
+// Alpha-beta simulator for the named collectives over flat and two-level
+// topologies -- the generalization of dist::CostModel's two ring formulas
+// that the planner (src/plan/planner.h) prices every candidate config with.
+//
+// Flat (single-level) closed forms, p ranks on one link (alpha per message,
+// bandwidth B), all byte counts n as seen by ONE rank:
+//
+//   allreduce(n)       ring reduce-scatter + allgather:
+//                        2(p-1) alpha + 2 n (p-1)/p / B
+//   reduce_scatter(n)  half a ring allreduce:
+//                        (p-1) alpha + n (p-1)/p / B
+//   allgather(n)       n contributed per rank, ring:
+//                        (p-1) alpha + n (p-1) / B
+//   broadcast(n)       binomial tree:
+//                        ceil(log2 p) (alpha + n / B)
+//   all_to_all(n)      n split evenly across peers, serialized on the NIC:
+//                        (p-1) alpha + n (p-1)/p / B
+//
+// The flat allreduce/allgather forms are IDENTICAL (same expression, same
+// evaluation order) to dist::CostModel's, so plans degenerate bitwise to the
+// vanilla DDP prediction bench_fig4_distributed prints; both are validated
+// against the discrete-event ring simulation to <1% in tests/plan_test.cc.
+//
+// Two-level topologies (hw.workers_per_node = m > 1, g = p/m nodes) use the
+// standard hierarchical decompositions (intra-node phase on the fast link,
+// inter-node phase on the slow link, m concurrent shard-rings sharing each
+// node's one NIC); see the per-function comments in comm_sim.cc and
+// DESIGN.md section 12 for the exact terms.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/hardware.h"
+
+namespace pf::plan {
+
+enum class Coll {
+  kAllreduce,
+  kReduceScatter,
+  kAllgather,
+  kBroadcast,
+  kAllToAll,
+};
+
+const char* coll_name(Coll c);
+
+// Flat single-link closed form (p ranks, one alpha/B link).
+double collective_seconds_flat(Coll c, int64_t bytes, int p, double alpha_s,
+                               double bandwidth_bytes_per_s);
+
+// Profile-aware cost: flat when the profile is single-level or the job fits
+// inside one node (p <= workers_per_node, priced on the intra link);
+// hierarchical two-level otherwise. `p` is the total rank count.
+double collective_seconds(Coll c, int64_t bytes, int p,
+                          const dist::HardwareProfile& hw);
+
+// DDP bucketed-overlap epoch model over an arbitrary profile: the exact
+// schedule of dist::ddp_epoch_seconds (buckets ready uniformly across the
+// backward 2/3 of compute, one serial comm channel) but with each bucket
+// priced by collective_seconds(kAllreduce, ...), so it prices hierarchical
+// profiles too. On a flat profile it equals dist::ddp_epoch_seconds exactly
+// (asserted in tests/plan_test.cc).
+double overlap_epoch_seconds(double compute_s, int64_t grad_bytes, int p,
+                             const dist::HardwareProfile& hw,
+                             int64_t bucket_bytes = 25 << 20);
+
+}  // namespace pf::plan

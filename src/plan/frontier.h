@@ -1,0 +1,60 @@
+// Recorded accuracy/cost data the planner's feasibility check reads.
+//
+// The paper's Tables 8/19/20 and Figure 3(b) are trade-off studies: rank
+// ratio, hybrid-K, and warm-up epochs against final accuracy. This repo has
+// re-measured them at bench scale (bench_table8_ablation_resnet18,
+// bench_fig3_mitigation, bench_ablation_rank_policy; 3-seed means recorded
+// in EXPERIMENTS.md); the planner treats those RECORDED numbers as the
+// accuracy surface. Keeping them as data -- not re-running training inside
+// the planner -- is what makes `pf plan` deterministic and instant; re-run
+// the benches to refresh the table when the training recipes change.
+//
+// The same applies to the gradient compressors: payload factors follow from
+// each encoding's definition, and the per-byte encode/decode rates are
+// recorded from bench_fig4_distributed / bench_fig7_binary_quant runs on
+// this substrate. bench_plan's calibrated section re-measures them with
+// compress::Reducer to show the recorded rates are current.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/comm_sim.h"
+
+namespace pf::plan {
+
+struct FrontierPoint {
+  double rank_ratio;
+  int hybrid_k;
+  int warmup_epochs;
+  double final_acc;  // recorded mean test accuracy (fraction) at bench scale
+};
+
+// Recorded ResNet-18-class frontier (the repo's most-measured family); other
+// families reuse it as a relative penalty surface, consistent with the
+// paper's observation that the mitigation orderings transfer across models.
+const std::vector<FrontierPoint>& recorded_frontier();
+
+// Accuracy predicted for a candidate. The recorded table is three 1-D
+// sweeps around the anchor (0.25, K=2, wu=2); the prediction composes the
+// per-axis deviations additively (piecewise-linear along each sweep,
+// clamped outside it), so a config extreme on two axes pays both
+// penalties. Deterministic, pure function of the recorded table.
+double predicted_accuracy(double rank_ratio, int hybrid_k, int warmup_epochs);
+
+struct MethodCosts {
+  std::string method;    // "allreduce" | "powersgd-r4" | "signum" | "topk-1pct"
+  Coll collective;       // what the encoding is compatible with
+  double payload_factor; // payload bytes per message = factor * grad bytes
+  int n_messages;        // collective invocations per step
+  double encode_s_per_byte;  // per worker, per byte of the DENSE gradient
+  double decode_s_per_byte;  // per byte of ONE peer payload
+  bool decode_scales_with_workers;  // allgather pathology (appendix F)
+  double acc_factor;     // recorded accuracy multiplier vs plain allreduce
+};
+
+// The src/compress methods the planner searches over, with recorded rates.
+const std::vector<MethodCosts>& recorded_methods();
+const MethodCosts& method_costs(const std::string& method);
+
+}  // namespace pf::plan

@@ -1,0 +1,128 @@
+#include "plan/model_costs.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "models/resnet.h"
+#include "models/vgg.h"
+
+namespace pf::plan {
+
+double ModelCosts::svd_seconds(double flops_per_s) const {
+  if (vanilla()) return 0;
+  return kSvdFlopsPerDenseParam * static_cast<double>(dense_params) /
+         std::max(flops_per_s, 1.0);
+}
+
+core::VisionModelFactory vision_factory(const std::string& model,
+                                        double width, int64_t classes,
+                                        double rank_ratio, int hybrid_k) {
+  const bool hybrid = rank_ratio > 0 && rank_ratio < 1.0 && hybrid_k > 0;
+  if (model == "vgg19") {
+    return [=](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+      models::VggConfig cfg;
+      cfg.width_mult = width;
+      cfg.num_classes = classes;
+      if (hybrid) {
+        cfg.k_first_lowrank = hybrid_k;
+        cfg.rank_ratio = rank_ratio;
+      }
+      return std::make_unique<models::Vgg19>(cfg, rng);
+    };
+  }
+  if (model == "resnet18") {
+    return [=](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+      models::ResNetCifarConfig cfg;
+      cfg.width_mult = width;
+      cfg.num_classes = classes;
+      if (hybrid) {
+        cfg.first_lowrank_block = hybrid_k;
+        cfg.rank_ratio = rank_ratio;
+      }
+      return std::make_unique<models::ResNet18Cifar>(cfg, rng);
+    };
+  }
+  if (model == "resnet50" || model == "wrn50") {
+    return [=](Rng& rng) -> std::unique_ptr<nn::UnaryModule> {
+      models::ResNetImageNetConfig cfg;
+      cfg.width_mult = width;
+      cfg.num_classes = classes;
+      cfg.wide = model == "wrn50";
+      if (hybrid) {
+        cfg.factorize_stage4 = true;
+        cfg.rank_ratio = rank_ratio;
+      }
+      cfg.input_hw = 32;
+      return std::make_unique<models::ResNet50>(cfg, rng);
+    };
+  }
+  return nullptr;
+}
+
+ModelCosts describe_model(const std::string& model, double width,
+                          int64_t classes, int64_t input_hw,
+                          double rank_ratio, int hybrid_k) {
+  ModelCosts mc;
+  mc.model = model;
+  mc.width = width;
+  mc.classes = classes;
+  mc.input_hw = input_hw;
+  mc.rank_ratio = rank_ratio;
+  mc.hybrid_k = hybrid_k;
+  const bool hybrid = rank_ratio > 0 && rank_ratio < 1.0 && hybrid_k > 0;
+
+  Rng rng(1);  // counts do not depend on the seed
+  auto fill = [&](auto& m, auto& dense) {
+    mc.params = m.num_params();
+    mc.dense_params = dense.num_params();
+    mc.n_param_tensors = static_cast<int64_t>(m.parameters().size());
+    mc.fwd_flops = 2.0 * static_cast<double>(m.forward_macs(input_hw,
+                                                            input_hw));
+  };
+  if (model == "vgg19") {
+    models::VggConfig cfg;
+    cfg.width_mult = width;
+    cfg.num_classes = classes;
+    if (hybrid) {
+      cfg.k_first_lowrank = hybrid_k;
+      cfg.rank_ratio = rank_ratio;
+    }
+    models::VggConfig dense_cfg = cfg;
+    dense_cfg.k_first_lowrank = 0;
+    models::Vgg19 m(cfg, rng), dense(dense_cfg, rng);
+    fill(m, dense);
+  } else if (model == "resnet18") {
+    models::ResNetCifarConfig cfg;
+    cfg.width_mult = width;
+    cfg.num_classes = classes;
+    if (hybrid) {
+      cfg.first_lowrank_block = hybrid_k;
+      cfg.rank_ratio = rank_ratio;
+    }
+    models::ResNetCifarConfig dense_cfg = cfg;
+    dense_cfg.first_lowrank_block = 0;
+    models::ResNet18Cifar m(cfg, rng), dense(dense_cfg, rng);
+    fill(m, dense);
+  } else if (model == "resnet50" || model == "wrn50") {
+    models::ResNetImageNetConfig cfg;
+    cfg.width_mult = width;
+    cfg.num_classes = classes;
+    cfg.wide = model == "wrn50";
+    cfg.input_hw = input_hw;
+    if (hybrid) {
+      cfg.factorize_stage4 = true;
+      cfg.rank_ratio = rank_ratio;
+    }
+    models::ResNetImageNetConfig dense_cfg = cfg;
+    dense_cfg.factorize_stage4 = false;
+    models::ResNet50 m(cfg, rng), dense(dense_cfg, rng);
+    fill(m, dense);
+  } else {
+    throw std::runtime_error("describe_model: unknown model " + model);
+  }
+  if (!hybrid) mc.dense_params = mc.params;
+  return mc;
+}
+
+}  // namespace pf::plan

@@ -1,0 +1,59 @@
+// Per-model cost descriptors for the planner: gradient bytes, per-sample
+// FLOPs, and parameter-tensor counts as functions of (rank ratio, hybrid-K),
+// INTROSPECTED from freshly built models (num_params / forward_macs) rather
+// than retyped -- if a model's factorization policy changes, the planner's
+// numbers follow automatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace pf::plan {
+
+struct ModelCosts {
+  std::string model;  // "resnet18" | "vgg19" | "resnet50" | "wrn50"
+  double width = 1.0;
+  int64_t classes = 10;
+  int64_t input_hw = 32;
+  double rank_ratio = 1.0;  // 1.0 = vanilla (dense)
+  int hybrid_k = 0;         // model-specific factorization start index
+
+  int64_t params = 0;
+  int64_t dense_params = 0;  // the vanilla counterpart (SVD input size)
+  int64_t n_param_tensors = 0;
+  double fwd_flops = 0;  // per-sample forward FLOPs (2 x MACs)
+
+  bool vanilla() const { return rank_ratio >= 1.0 || hybrid_k <= 0; }
+  int64_t grad_bytes() const {
+    return params * static_cast<int64_t>(sizeof(float));
+  }
+  // Forward+backward FLOPs for one step of `batch` samples (the standard
+  // bwd ~ 2x fwd accounting used by bench_fig4_distributed).
+  double step_flops(int64_t batch) const {
+    return 3.0 * fwd_flops * static_cast<double>(batch);
+  }
+  // One-time warm-start SVD cost. kSvdFlopsPerDenseParam is calibrated
+  // against the measured Table 19 numbers (bench_table19_svd_cost: ~2.4 s
+  // for the 11.2M-param ResNet-18 on one core); it prices the truncated
+  // factorization of every dense tensor the hybrid replaces.
+  double svd_seconds(double flops_per_s) const;
+};
+
+inline constexpr double kSvdFlopsPerDenseParam = 1e4;
+
+// Builds the model once and reads its counts. `hybrid_k` follows each
+// model family's own knob: first_lowrank_block (resnet18), k_first_lowrank
+// (vgg19), factorize-stage4-if-nonzero (resnet50/wrn50). rank_ratio >= 1 or
+// hybrid_k == 0 describes the vanilla model.
+ModelCosts describe_model(const std::string& model, double width,
+                          int64_t classes, int64_t input_hw,
+                          double rank_ratio, int hybrid_k);
+
+// The matching trainer factory (shared with examples/pufferfish_cli).
+core::VisionModelFactory vision_factory(const std::string& model,
+                                        double width, int64_t classes,
+                                        double rank_ratio, int hybrid_k);
+
+}  // namespace pf::plan

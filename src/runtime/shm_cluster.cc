@@ -42,7 +42,87 @@ class Barrier {
   std::condition_variable cv_;
 };
 
+// One bucketed ring all-reduce pass as executed by worker `w`. Buckets are
+// walked from the tail of the flat buffer -- the order backward produces
+// gradients -- so a real ring would overlap early buckets with the head of
+// the next step's compute. Each bucket: rendezvous, then a reduce-scatter
+// where worker w owns segment w and sums it across replicas in ascending
+// replica order (bitwise identical to the sequential mean); the allgather
+// collapses to shared-memory reads of `agg`. Shared verbatim by train_epoch
+// and the calibration microbenchmark timed_ring_allreduce, so measured
+// alpha/beta describe the exact production code path.
+void ring_reduce_pass(int w, int n_active, int64_t total_params,
+                      int64_t bucket_elems, int64_t n_buckets,
+                      const std::vector<Tensor>& arena,
+                      std::vector<const float*>& grad_p, float* agg,
+                      Barrier& barrier) {
+  const float inv = 1.0f / static_cast<float>(n_active);
+  for (int64_t k = n_buckets - 1; k >= 0; --k) {
+    barrier.wait();
+    if (k == n_buckets - 1)  // first rendezvous published all arenas
+      for (int j = 0; j < n_active; ++j)
+        grad_p[static_cast<size_t>(j)] =
+            std::as_const(arena[static_cast<size_t>(j)]).data();
+    const int64_t b0 = k * bucket_elems;
+    const int64_t b1 = std::min(b0 + bucket_elems, total_params);
+    const int64_t seg = (b1 - b0 + n_active - 1) / n_active;
+    if (w < n_active) {
+      const int64_t s0 = b0 + w * seg;
+      const int64_t s1 = std::min(s0 + seg, b1);
+      for (int64_t i = s0; i < s1; ++i) {
+        float acc = grad_p[0][i];
+        for (int j = 1; j < n_active; ++j)
+          acc += grad_p[static_cast<size_t>(j)][i];
+        agg[i] = acc * inv;
+      }
+    }
+  }
+  barrier.wait();
+}
+
 }  // namespace
+
+double timed_ring_allreduce(int workers, int64_t elems, int64_t bucket_bytes,
+                            int reps) {
+  workers = std::max(1, workers);
+  elems = std::max<int64_t>(1, elems);
+  reps = std::max(1, reps);
+  const int64_t bucket_elems = std::max<int64_t>(
+      1, bucket_bytes / static_cast<int64_t>(sizeof(float)));
+  const int64_t n_buckets = (elems + bucket_elems - 1) / bucket_elems;
+
+  std::vector<Tensor> arena;
+  for (int w = 0; w < workers; ++w) {
+    Tensor t(Shape{elems});
+    // Deterministic non-trivial payload; values are irrelevant to timing.
+    float* d = t.data();
+    for (int64_t i = 0; i < elems; ++i)
+      d[i] = static_cast<float>((i + w) % 17) * 0.25f;
+    arena.push_back(std::move(t));
+  }
+  Tensor agg(Shape{elems});
+  float* const agg_p = agg.data();
+  Barrier barrier(workers);
+  double seconds = 0;
+
+  auto worker_fn = [&](int w) {
+    std::vector<const float*> grad_p(static_cast<size_t>(workers), nullptr);
+    // Untimed warm-up pass (faults in the first pass: page-in, cold caches).
+    ring_reduce_pass(w, workers, elems, bucket_elems, n_buckets, arena,
+                     grad_p, agg_p, barrier);
+    metrics::Timer t;  // every worker starts after the same barrier
+    for (int r = 0; r < reps; ++r)
+      ring_reduce_pass(w, workers, elems, bucket_elems, n_buckets, arena,
+                       grad_p, agg_p, barrier);
+    if (w == 0) seconds = t.seconds();
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (std::thread& t : pool) t.join();
+  return seconds / reps;
+}
 
 ShmDataParallelTrainer::ShmDataParallelTrainer(
     const core::VisionModelFactory& make_model,
@@ -209,35 +289,11 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
       {
       PF_TRACE_SCOPE_C("shm.reduce", step);
       if (ring_path_) {
-        // Bucketed all-reduce run by the workers themselves. Buckets are
-        // walked from the tail of the flat buffer -- the order backward
-        // produces gradients -- so a real ring would overlap early buckets
-        // with the head of the next step's compute. Each bucket: rendezvous,
-        // then a reduce-scatter where worker w owns segment w and sums it
-        // across replicas in ascending replica order (bitwise identical to
-        // the sequential mean); the allgather is free in shared memory.
-        const float inv = 1.0f / static_cast<float>(n_active);
-        for (int64_t k = n_buckets - 1; k >= 0; --k) {
-          barrier.wait();
-          if (k == n_buckets - 1)  // first rendezvous published all arenas
-            for (int j = 0; j < n_active; ++j)
-              grad_p[static_cast<size_t>(j)] =
-                  std::as_const(arena[static_cast<size_t>(j)]).data();
-          const int64_t b0 = k * bucket_elems;
-          const int64_t b1 = std::min(b0 + bucket_elems, total_params);
-          const int64_t seg = (b1 - b0 + n_active - 1) / n_active;
-          if (w < n_active) {
-            const int64_t s0 = b0 + w * seg;
-            const int64_t s1 = std::min(s0 + seg, b1);
-            for (int64_t i = s0; i < s1; ++i) {
-              float acc = grad_p[0][i];
-              for (int j = 1; j < n_active; ++j)
-                acc += grad_p[static_cast<size_t>(j)][i];
-              agg_ring[i] = acc * inv;
-            }
-          }
-        }
-        barrier.wait();
+        // Bucketed all-reduce run by the workers themselves; see
+        // ring_reduce_pass (also the calibration target of
+        // timed_ring_allreduce, so plan profiles price this exact loop).
+        ring_reduce_pass(w, n_active, total_params, bucket_elems, n_buckets,
+                         arena, grad_p, agg_ring, barrier);
       } else {
         // Non-summing payloads go through the Reducer exactly as the
         // modeled cluster runs it, centralized on worker 0. Worker 0 times

@@ -52,6 +52,16 @@
 
 namespace pf::runtime {
 
+// Times the exact bucketed ring all-reduce the trainer's ring path executes
+// (rendezvous per bucket, tail-first bucket walk, per-segment reduce-scatter
+// over a shared arena): `workers` threads each contribute a flat gradient of
+// `elems` floats. Returns mean seconds per reduce over `reps` repetitions
+// after one untimed warm-up pass. The plan calibration
+// (src/plan/calibrate.h) fits effective alpha/beta to this at several
+// payload sizes, so modeled communication describes this machine.
+double timed_ring_allreduce(int workers, int64_t elems, int64_t bucket_bytes,
+                            int reps);
+
 struct ShmClusterConfig {
   int workers = 4;
   // Ring-path bucket granularity in bytes (DDP-style gradient buckets).

@@ -75,6 +75,8 @@ void push_event(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
   b.head.store(h + 1, std::memory_order_release);
 }
 
+}  // namespace
+
 void json_escape(std::string& out, const char* s) {
   for (; *s != '\0'; ++s) {
     const char c = *s;
@@ -90,8 +92,6 @@ void json_escape(std::string& out, const char* s) {
     }
   }
 }
-
-}  // namespace
 
 namespace detail {
 std::atomic<bool> g_enabled{env_enabled()};

@@ -98,6 +98,10 @@ std::uint64_t dropped();
 // microseconds). Load via chrome://tracing or https://ui.perfetto.dev.
 std::string to_chrome_json(const std::vector<Event>& events);
 
+// Appends `s` to `out` with JSON string escaping ("\ and control chars).
+// Shared by the chrome JSON writer above and bench --json reports.
+void json_escape(std::string& out, const char* s);
+
 // drain() + write JSON to `path`. Returns false on I/O failure.
 bool write_chrome_json(const std::string& path);
 
