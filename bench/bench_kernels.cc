@@ -2,10 +2,26 @@
 // paper's runtime results bottom out in -- GEMM at the paper's layer shapes,
 // im2col convolution (dense vs factorized), truncated SVD (Gram-Jacobi vs
 // tred2/tqli vs randomized), and compressor encode/decode throughput.
+//
+// The custom main first prints a kernel-backend comparison table (scalar vs
+// avx2 GEMM throughput at representative shapes, plus the fused low-rank
+// forward vs its two-GEMM composition), then hands the remaining argv to
+// google-benchmark. `--json[=path]` emits the table as a JsonReport and
+// skips the google-benchmark suite -- the machine-readable mode CI and
+// EXPERIMENTS.md snapshots use.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "common.h"
 #include "compress/compressor.h"
+#include "kernels/kernels.h"
 #include "linalg/svd.h"
 #include "metrics/metrics.h"
 #include "nn/layers.h"
@@ -283,6 +299,125 @@ void BM_ReduceTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_ReduceTopK);
 
+// ---- Backend comparison table (custom main) ----
+//
+// Single-thread, best-of-reps GEMM throughput per backend at the shapes the
+// training loop actually hits: the square planner-calibration GEMM and the
+// ResNet-18 im2col shapes (c_out x c_in*3*3 x spatial) at CIFAR geometry.
+struct GemmCase {
+  const char* label;
+  int64_t m, k, n;
+};
+constexpr GemmCase kGemmCases[] = {
+    {"512x512x512 (square)", 512, 512, 512},
+    {"64x576x1024 (rn18 conv2)", 64, 576, 1024},
+    {"128x1152x256 (rn18 conv3)", 128, 1152, 256},
+    {"256x2304x64 (rn18 conv4)", 256, 2304, 64},
+};
+
+double best_seconds(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up: faults in dispatch, pool buffers, packing scratch
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    metrics::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+void backend_table(bench::JsonReport& report) {
+  runtime::set_threads(1);
+  const bool has_avx2 = kernels::avx2_supported();
+  const std::string prev = kernels::backend_name();
+  const int reps = 5;
+
+  std::printf("kernel backends: scalar%s (active: %s)\n",
+              has_avx2 ? ", avx2" : " (avx2 unavailable on this host)",
+              kernels::backend_name());
+  std::printf("GEMM throughput, 1 thread, best of %d:\n", reps);
+  std::printf("  %-28s %12s %12s %9s\n", "shape (m x k x n)", "scalar GF/s",
+              "avx2 GF/s", "speedup");
+  for (const GemmCase& c : kGemmCases) {
+    Rng rng(17);
+    const Tensor a = rng.randn(Shape{c.m, c.k});
+    const Tensor b = rng.randn(Shape{c.k, c.n});
+    const double flops = 2.0 * static_cast<double>(c.m) * c.k * c.n;
+    auto gflops = [&](const char* backend) {
+      if (!kernels::set_backend(backend)) return 0.0;
+      const double secs = best_seconds(reps, [&] {
+        Tensor out = matmul(a, b);
+        benchmark::DoNotOptimize(out.data());
+      });
+      return flops / secs / 1e9;
+    };
+    const double gf_scalar = gflops("scalar");
+    const double gf_avx2 = gflops("avx2");
+    std::printf("  %-28s %12.1f %12.1f %8.1fx\n", c.label, gf_scalar, gf_avx2,
+                gf_avx2 > 0 ? gf_avx2 / gf_scalar : 0.0);
+    report.section(std::string("gemm ") + c.label);
+    report.kv("m", static_cast<double>(c.m));
+    report.kv("k", static_cast<double>(c.k));
+    report.kv("n", static_cast<double>(c.n));
+    report.kv("scalar_gflops", gf_scalar);
+    report.kv("avx2_gflops", gf_avx2);
+    report.kv("speedup", gf_avx2 > 0 ? gf_avx2 / gf_scalar : 0.0);
+  }
+
+  // Fused low-rank forward U(V^T x) vs its two-GEMM composition, same
+  // backend on both sides: the fusion's win is skipping the materialized
+  // full-width intermediate, not vectorization.
+  const int64_t m = 512, in = 512, r = 128, out = 512;
+  Rng rng(18);
+  const Tensor x = rng.randn(Shape{m, in});
+  const Tensor v = rng.randn(Shape{in, r});
+  const Tensor u = rng.randn(Shape{out, r});
+  std::printf("fused low-rank forward U(V^T x), m=%lld in=%lld r=%lld "
+              "out=%lld, 1 thread:\n",
+              static_cast<long long>(m), static_cast<long long>(in),
+              static_cast<long long>(r), static_cast<long long>(out));
+  std::printf("  %-8s %12s %12s %9s\n", "backend", "two-op ms", "fused ms",
+              "speedup");
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (!kernels::set_backend(backend)) continue;
+    const double two = best_seconds(reps, [&] {
+      Tensor y = matmul_nt(matmul(x, v), u);
+      benchmark::DoNotOptimize(y.data());
+    });
+    const double fused = best_seconds(reps, [&] {
+      Tensor y = kernels::lowrank_matmul(x, v, u);
+      benchmark::DoNotOptimize(y.data());
+    });
+    std::printf("  %-8s %12.3f %12.3f %8.2fx\n", backend, two * 1e3,
+                fused * 1e3, two / fused);
+    report.section(std::string("lowrank_fused ") + backend);
+    report.kv("two_op_ms", two * 1e3);
+    report.kv("fused_ms", fused * 1e3);
+    report.kv("speedup", two / fused);
+  }
+  kernels::set_backend(prev.c_str());
+  runtime::set_threads(0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  const bool json = bench::JsonReport::wants_json(argc, argv, &json_path);
+  // Strip --json[=path] before handing argv to google-benchmark, which
+  // rejects flags it does not know.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i)
+    if (std::strncmp(argv[i], "--json", 6) != 0) args.push_back(argv[i]);
+  int bargc = static_cast<int>(args.size());
+
+  bench::JsonReport report;
+  backend_table(report);
+  if (json) return report.emit("bench_kernels", json_path) ? 0 : 1;
+
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,23 @@ Var matmul_nt(const Var& a, const Var& b);  // (m,k)x(n,k)^T
 Var bmm(const Var& a, const Var& b);        // (b,m,k)x(b,k,n)
 Var bmm_nt(const Var& a, const Var& b);     // (b,m,k)x(b,n,k)^T
 
+// ---- Fused low-rank products (Pufferfish factorized layers). ----
+// y = (x @ v) @ u^T for x (N, in), v (in, r), u (out, r): one kernel launch
+// computing both factors in row blocks, so the (N, r) intermediate is only
+// materialized when the node is taped (it is needed by the backward pass).
+// Identical gradients -- and, on the scalar backend, identical bits -- to
+// matmul(x, v) followed by matmul_nt(t, u).
+Var lowrank_linear(const Var& x, const Var& v, const Var& u);
+
+// Fused factorized convolution, tape-free forward only (throws if grad
+// taping is active and any input requires grad): x (N, C_in, H, W),
+// u (r, C_in, k, k), v (C_out, r, 1, 1). Computes conv(x, u) -> 1x1
+// conv(., v) per sample without materializing the full (N, r, oh, ow)
+// intermediate or re-running im2col on it. Training uses the two-conv
+// composition (see nn::LowRankConv2d).
+Var lowrank_conv2d(const Var& x, const Var& u, const Var& v, int64_t stride,
+                   int64_t pad);
+
 // ---- Activations / elementwise. ----
 Var relu(const Var& a);
 Var sigmoid(const Var& a);

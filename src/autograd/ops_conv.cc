@@ -2,12 +2,14 @@
 // the backward pass recomputes the column matrix per sample instead of
 // caching it (it is cheap relative to the GEMMs and keeps peak memory at
 // one column buffer).
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "autograd/ops.h"
 #include "tensor/matmul.h"
+#include "trace/trace.h"
 
 namespace pf::ag {
 
@@ -81,6 +83,51 @@ Var conv2d(const Var& x, const Var& w, int64_t stride, int64_t pad) {
     if (w->requires_grad) w->accumulate(dw);
     if (x->requires_grad) x->accumulate(dx);
   });
+}
+
+Var lowrank_conv2d(const Var& x, const Var& u, const Var& v, int64_t stride,
+                   int64_t pad) {
+  check(!(grad_enabled() &&
+          (x->requires_grad || u->requires_grad || v->requires_grad)),
+        "lowrank_conv2d: tape-free forward only (train via two conv2d nodes)");
+  check(x->value.dim() == 4 && u->value.dim() == 4 && v->value.dim() == 4,
+        "lowrank_conv2d: 4-D x, u, v");
+  const int64_t n = x->value.size(0), c_in = x->value.size(1),
+                h = x->value.size(2), wd = x->value.size(3);
+  const int64_t r = u->value.size(0), k = u->value.size(2);
+  const int64_t c_out = v->value.size(0);
+  check(u->value.size(1) == c_in, "lowrank_conv2d: channel mismatch");
+  check(u->value.size(3) == k, "lowrank_conv2d: square kernels only");
+  check(v->value.size(1) == r && v->value.size(2) == 1 && v->value.size(3) == 1,
+        "lowrank_conv2d: v must be (c_out, r, 1, 1)");
+
+  const ConvGeom g{c_in, h, wd, k, stride, pad};
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow, patch = g.patch();
+  PF_TRACE_SCOPE_C("lowrank_conv", n * spatial * r * (patch + c_out));
+
+  Tensor out(Shape{n, c_out, oh, ow});  // zero-filled: matmul_accum does +=
+  const Tensor& xv = x->value;  // const reads: no COW unshare
+  const Tensor& uv = u->value;
+  const Tensor& vv = v->value;
+  Tensor col = Tensor::uninit(Shape{patch, spatial});
+  Tensor mid(Shape{r, spatial});
+  float* colp = col.data();
+  float* midp = mid.data();
+  float* outp = out.data();
+  // Per sample: im2col once, then U (r, patch) @ col and V (c_out, r) @ mid.
+  // The unfused path ran a second conv2d whose 1x1 im2col is an identity
+  // copy of the whole (n, r, oh, ow) intermediate; here `mid` is one sample
+  // wide and feeds the second GEMM directly, so bits match the two-conv
+  // composition per backend while skipping the copy and the big allocation.
+  for (int64_t i = 0; i < n; ++i) {
+    im2col(xv.data() + i * c_in * h * wd, g, colp);
+    std::fill(midp, midp + r * spatial, 0.0f);
+    matmul_accum(uv.data(), colp, midp, r, patch, spatial);
+    matmul_accum(vv.data(), midp, outp + i * c_out * spatial, c_out, r,
+                 spatial);
+  }
+  return make_node(std::move(out), {x, u, v}, nullptr);
 }
 
 Var maxpool2d(const Var& x, int64_t kernel, int64_t stride) {

@@ -2,6 +2,7 @@
 //   C = A B       => dA = dC B^T,  dB = A^T dC
 //   C = A B^T     => dA = dC B,    dB = dC^T A
 #include "autograd/ops.h"
+#include "kernels/kernels.h"
 #include "tensor/matmul.h"
 
 namespace pf::ag {
@@ -23,6 +24,34 @@ Var matmul_nt(const Var& a, const Var& b) {
     const Var& b = n.inputs[1];
     if (a->requires_grad) a->accumulate(pf::matmul(n.grad, b->value));
     if (b->requires_grad) b->accumulate(pf::matmul_tn(n.grad, a->value));
+  });
+}
+
+Var lowrank_linear(const Var& x, const Var& v, const Var& u) {
+  const bool taped =
+      grad_enabled() &&
+      (x->requires_grad || v->requires_grad || u->requires_grad);
+  if (!taped) {
+    // Eval / frozen-serve path: no tape, no (N, r) intermediate tensor.
+    return make_node(kernels::lowrank_matmul(x->value, v->value, u->value),
+                     {x, v, u}, nullptr);
+  }
+  // Training path: the fused kernel also materializes t = x @ v, which the
+  // adjoints below need. The closure reproduces, formula for formula, the
+  // backward of the unfused matmul(x, v) + matmul_nt(t, u) pair, so training
+  // stays bitwise identical to the two-node composition per backend.
+  Tensor t;
+  Tensor y = kernels::lowrank_matmul(x->value, v->value, u->value, &t);
+  return make_node(std::move(y), {x, v, u}, [t](Node& n) {
+    const Var& x = n.inputs[0];
+    const Var& v = n.inputs[1];
+    const Var& u = n.inputs[2];
+    if (u->requires_grad) u->accumulate(pf::matmul_tn(n.grad, t));
+    if (x->requires_grad || v->requires_grad) {
+      const Tensor dt = pf::matmul(n.grad, u->value);  // (N, r)
+      if (x->requires_grad) x->accumulate(pf::matmul_nt(dt, v->value));
+      if (v->requires_grad) v->accumulate(pf::matmul_tn(x->value, dt));
+    }
   });
 }
 

@@ -1,0 +1,55 @@
+// The reference backend: the seed triple-loop kernels, expressed through the
+// shared gemm_panel driver. Bitwise-identical to pre-refactor pf::matmul*
+// for every shape and PF_THREADS setting -- golden tests and convergence
+// gates are defined against this backend.
+#include "kernels/gemm_panels.h"
+#include "kernels/kernels.h"
+#include "runtime/thread_pool.h"
+
+namespace pf::kernels {
+
+namespace {
+
+class ScalarBackend final : public Backend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) const override {
+    runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
+      gemm_panel<Trans::N, Trans::N>(a + r0 * k, k, b, n, c + r0 * n, n,
+                                     r1 - r0, k, n);
+    });
+  }
+
+  void gemm_tn(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) const override {
+    // a is stored (k, m): chunk r0's panel starts at column r0, ld m.
+    runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
+      gemm_panel<Trans::T, Trans::N>(a + r0, m, b, n, c + r0 * n, n, r1 - r0,
+                                     k, n);
+    });
+  }
+
+  void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) const override {
+    // b is stored (n, k); the panel overwrites c rows (seed semantics).
+    runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
+      gemm_panel<Trans::N, Trans::T>(a + r0 * k, k, b, k, c + r0 * n, n,
+                                     r1 - r0, k, n);
+    });
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+const Backend* scalar_backend_ptr() {
+  static ScalarBackend backend;
+  return &backend;
+}
+
+}  // namespace detail
+
+}  // namespace pf::kernels

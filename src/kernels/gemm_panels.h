@@ -1,0 +1,109 @@
+// The single templated micro-panel GEMM driver behind every scalar-path
+// kernel in the repo.
+//
+// Before the kernel-backend refactor, src/tensor/matmul.cc carried six
+// copy-pasted triple loops (matmul / matmul_tn / matmul_nt and their bmm_*
+// twins). They collapse to the three `if constexpr` bodies below, shared by
+// the 2-D wrappers, the batched wrappers, and the scalar Backend -- and each
+// body keeps the *exact* accumulation order of the seed loops, so the scalar
+// backend stays bitwise identical to pre-refactor training.
+//
+// Operands are addressed through a leading dimension so callers can hand the
+// driver a row chunk of a larger matrix (the parallel runtime partitions
+// GEMMs over output rows; see backend_scalar.cc).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pf::kernels {
+
+// Memory layout of a GEMM operand: N = row-major (rows, cols) with element
+// (r, c) at [r * ld + c]; T = stored transposed, element (r, c) at
+// [c * ld + r].
+enum class Trans { N, T };
+
+// Cache-block extents of the blocked-ikj (N, N) body. Blocking only affects
+// locality, never results: each output element accumulates in ascending-k
+// order regardless of the block walk.
+inline constexpr int64_t kBlockK = 128;
+inline constexpr int64_t kBlockN = 256;
+
+// Rows per parallel chunk: target ~256k multiply-adds per chunk so small
+// GEMMs stay on the calling thread, with a floor of 4 rows so a chunk
+// amortizes the blocked-loop setup. Row-parallel chunking is bitwise-safe:
+// every output row is produced by exactly one chunk with the same
+// per-element accumulation order as the serial kernel.
+inline int64_t row_grain(int64_t k, int64_t n) {
+  constexpr int64_t kTargetFlops = 1 << 18;
+  return std::max<int64_t>(4, kTargetFlops / std::max<int64_t>(1, k * n));
+}
+
+// Micro-panel GEMM over an m x n output panel. Per-variant semantics (the
+// seed orders, preserved verbatim):
+//  * (N, N): c += a @ b     -- blocked ikj; inner j loop is a contiguous
+//            AXPY; per-element accumulation ascends in k.
+//  * (T, N): c += a^T @ b   -- k outermost so both reads stream; same
+//            ascending-k per-element order as (N, N).
+//  * (N, T): c  = a @ b^T   -- per-element dot product with four split
+//            accumulators combined as (a0+a1)+(a2+a3), then a scalar tail.
+//            Overwrites c (callers pass zero-filled panels).
+template <Trans TA, Trans TB>
+inline void gemm_panel(const float* a, int64_t lda, const float* b,
+                       int64_t ldb, float* c, int64_t ldc, int64_t m,
+                       int64_t k, int64_t n) {
+  if constexpr (TA == Trans::N && TB == Trans::N) {
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k0 + kBlockK, k);
+      for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
+        const int64_t n1 = std::min(n0 + kBlockN, n);
+        for (int64_t i = 0; i < m; ++i) {
+          float* crow = c + i * ldc;
+          const float* arow = a + i * lda;
+          for (int64_t kk = k0; kk < k1; ++kk) {
+            const float aval = arow[kk];
+            if (aval == 0.0f) continue;
+            const float* brow = b + kk * ldb;
+            for (int64_t j = n0; j < n1; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      }
+    }
+  } else if constexpr (TA == Trans::T && TB == Trans::N) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* acol = a + kk * lda;
+      const float* brow = b + kk * ldb;
+      for (int64_t i = 0; i < m; ++i) {
+        const float aval = acol[i];
+        if (aval == 0.0f) continue;
+        float* crow = c + i * ldc;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    }
+  } else {
+    static_assert(TA == Trans::N && TB == Trans::T,
+                  "gemm_panel: (T, T) panels are unused in this repo");
+    // Four independent float accumulators keep the loop vectorizable (a
+    // single double accumulator serializes the FMA chain and costs ~10x).
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+        int64_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          acc0 += arow[kk] * brow[kk];
+          acc1 += arow[kk + 1] * brow[kk + 1];
+          acc2 += arow[kk + 2] * brow[kk + 2];
+          acc3 += arow[kk + 3] * brow[kk + 3];
+        }
+        float acc = (acc0 + acc1) + (acc2 + acc3);
+        for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace pf::kernels

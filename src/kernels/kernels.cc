@@ -1,0 +1,186 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/buffer_pool.h"
+#include "runtime/thread_pool.h"
+#include "trace/trace.h"
+
+namespace pf::kernels {
+
+namespace {
+
+// Column rows per parallel chunk: each row is `spatial` floats, so target a
+// few KB of writes per chunk to keep dispatch overhead off small convs.
+int64_t col_row_grain(int64_t spatial) {
+  return std::max<int64_t>(1, 8192 / std::max<int64_t>(1, spatial));
+}
+
+}  // namespace
+
+// Default (scalar, seed-identical) convolution lowering. Moved verbatim from
+// src/tensor/im2col.cc; the pf::im2col / pf::col2im wrappers keep the trace
+// spans so per-op flop accounting is backend-independent.
+void Backend::im2col(const float* img, const ConvGeom& g, float* col) const {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow;
+  const int64_t kk2 = g.kernel * g.kernel;
+  // Column layout: row index = (c*k + ki)*k + kj, col index = oy*ow + ox.
+  // Every column row is written by exactly one chunk, so the parallel split
+  // over rows is race-free and bit-identical to the serial walk.
+  runtime::parallel_for(
+      0, g.c_in * kk2, col_row_grain(spatial), [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t c = r / kk2;
+          const int64_t ki = (r % kk2) / g.kernel;
+          const int64_t kj = r % g.kernel;
+          const float* plane = img + c * g.h * g.w;
+          float* crow = col + r * spatial;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * g.stride - g.pad + ki;
+            if (iy < 0 || iy >= g.h) {
+              for (int64_t ox = 0; ox < ow; ++ox) crow[oy * ow + ox] = 0.0f;
+              continue;
+            }
+            const float* srow = plane + iy * g.w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * g.stride - g.pad + kj;
+              crow[oy * ow + ox] = (ix >= 0 && ix < g.w) ? srow[ix] : 0.0f;
+            }
+          }
+        }
+      });
+}
+
+void Backend::col2im(const float* col, const ConvGeom& g, float* img) const {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow;
+  // Scatter-add: all (ki, kj) rows of one channel accumulate into the same
+  // image plane, so the parallel split is over channels only -- planes are
+  // disjoint and each keeps the serial accumulation order.
+  runtime::parallel_for(0, g.c_in, 1, [=](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      float* plane = img + c * g.h * g.w;
+      for (int64_t ki = 0; ki < g.kernel; ++ki) {
+        for (int64_t kj = 0; kj < g.kernel; ++kj) {
+          const float* crow =
+              col + ((c * g.kernel + ki) * g.kernel + kj) * spatial;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * g.stride - g.pad + ki;
+            if (iy < 0 || iy >= g.h) continue;
+            float* srow = plane + iy * g.w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * g.stride - g.pad + kj;
+              if (ix >= 0 && ix < g.w) srow[ix] += crow[oy * ow + ox];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+namespace {
+
+std::atomic<const Backend*> g_active{nullptr};
+
+const Backend* resolve(const std::string& req) {
+  if (req == "scalar") return detail::scalar_backend_ptr();
+  if (req == "avx2") return detail::avx2_backend_or_null();
+  if (req == "auto" || req.empty()) {
+    const Backend* v = detail::avx2_backend_or_null();
+    return v ? v : detail::scalar_backend_ptr();
+  }
+  return nullptr;
+}
+
+const Backend* init_from_env() {
+  const char* s = std::getenv("PF_BACKEND");
+  const std::string req = s ? s : "auto";
+  const Backend* b = resolve(req);
+  if (!b) {
+    std::fprintf(stderr,
+                 "[pf::kernels] PF_BACKEND=%s unknown or unavailable on this "
+                 "host; falling back to scalar\n",
+                 req.c_str());
+    b = detail::scalar_backend_ptr();
+  }
+  return b;
+}
+
+}  // namespace
+
+const Backend& active() {
+  const Backend* b = g_active.load(std::memory_order_acquire);
+  if (!b) {
+    // init_from_env() is idempotent, so a first-use race just stores the
+    // same pointer twice.
+    b = init_from_env();
+    const Backend* expected = nullptr;
+    if (!g_active.compare_exchange_strong(expected, b,
+                                          std::memory_order_acq_rel))
+      b = expected;
+  }
+  return *b;
+}
+
+const char* backend_name() { return active().name(); }
+
+bool set_backend(const char* name) {
+  const Backend* b = resolve(name ? name : "auto");
+  if (!b) return false;
+  g_active.store(b, std::memory_order_release);
+  return true;
+}
+
+bool avx2_compiled() { return detail::avx2_compiled_in(); }
+bool avx2_supported() { return detail::avx2_backend_or_null() != nullptr; }
+
+Tensor lowrank_matmul(const Tensor& x, const Tensor& v, const Tensor& u,
+                      Tensor* t_out) {
+  if (x.dim() != 2 || v.dim() != 2 || u.dim() != 2)
+    throw std::runtime_error("lowrank_matmul: 2-D tensors required");
+  const int64_t m = x.size(0), in = x.size(1);
+  const int64_t r = v.size(1), out = u.size(0);
+  if (v.size(0) != in) throw std::runtime_error("lowrank_matmul: x/v mismatch");
+  if (u.size(1) != r) throw std::runtime_error("lowrank_matmul: v/u mismatch");
+  PF_TRACE_SCOPE_C("lowrank", m * r * (in + out));
+  Tensor y(Shape{m, out});
+  if (t_out) *t_out = Tensor(Shape{m, r});
+  const Backend& be = active();
+  const float* xd = x.data();
+  const float* vd = v.data();
+  const float* ud = u.data();
+  float* yd = y.data();
+  // Two whole-matrix backend calls sharing one rank-width scratch. An
+  // earlier version row-blocked the chain to keep the (rows, r) slice
+  // cache-resident, but that made the packed avx2 backend re-pack v and u
+  // once per block, costing more than the locality bought (0.8x vs two-op
+  // at m=512); whole-matrix calls pack each operand once and let the
+  // backend's internal parallel_for do the partitioning. Per-element
+  // accumulation order is row-partition-invariant in both backends, so
+  // this is bitwise-identical to the row-blocked form and to the unfused
+  // two-op sequence per backend.
+  float* scratch = nullptr;
+  int64_t cap = 0;
+  float* t;
+  if (t_out) {
+    t = t_out->data();  // Tensor(Shape) zero-fills
+  } else {
+    scratch = runtime::BufferPool::instance().acquire(m * r, &cap);
+    std::memset(scratch, 0, static_cast<size_t>(m * r) * sizeof(float));
+    t = scratch;
+  }
+  be.gemm_nn(xd, vd, t, m, in, r);
+  be.gemm_nt(t, ud, yd, m, r, out);
+  if (scratch) runtime::BufferPool::instance().release(scratch, cap);
+  return y;
+}
+
+}  // namespace pf::kernels

@@ -39,8 +39,10 @@ LowRankLinear::LowRankLinear(int64_t in, int64_t out, int64_t rank, Rng& rng,
 }
 
 ag::Var LowRankLinear::forward(const ag::Var& x) {
-  ag::Var t = ag::matmul(x, v);       // (N, r)
-  ag::Var y = ag::matmul_nt(t, u);    // (N, out)
+  // Fused (x @ v) @ u^T: one kernel launch; when taped it materializes the
+  // (N, r) intermediate for the backward pass, when not (eval / frozen
+  // serve) the intermediate stays a per-row-block scratch buffer.
+  ag::Var y = ag::lowrank_linear(x, v, u);
   if (bias) y = ag::add(y, bias);
   return y;
 }
@@ -72,6 +74,12 @@ LowRankConv2d::LowRankConv2d(int64_t c_in, int64_t c_out, int64_t kernel,
 }
 
 ag::Var LowRankConv2d::forward(const ag::Var& x) {
+  // Tape-free forwards (eval, frozen serve) fuse the two convolutions per
+  // sample, skipping the full (N, r, oh, ow) intermediate and the 1x1
+  // im2col copy over it. Training keeps the two-node composition so the
+  // backward pass stays on the gradient-checked conv2d adjoints.
+  if (!ag::grad_enabled())
+    return ag::lowrank_conv2d(x, u, v, stride_, pad_);
   ag::Var mid = ag::conv2d(x, u, stride_, pad_);
   return ag::conv2d(mid, v, /*stride=*/1, /*pad=*/0);
 }

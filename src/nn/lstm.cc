@@ -93,8 +93,8 @@ ag::Var LowRankLSTMLayer::forward(const ag::Var& x, LstmState* state) {
     std::vector<ag::Var> gate_parts;
     gate_parts.reserve(4);
     for (size_t gate = 0; gate < 4; ++gate) {
-      ag::Var zi = ag::matmul_nt(ag::matmul(xt, v_ih[gate]), u_ih[gate]);
-      ag::Var zh = ag::matmul_nt(ag::matmul(h, v_hh[gate]), u_hh[gate]);
+      ag::Var zi = ag::lowrank_linear(xt, v_ih[gate], u_ih[gate]);
+      ag::Var zh = ag::lowrank_linear(h, v_hh[gate], u_hh[gate]);
       gate_parts.push_back(ag::add(zi, zh));
     }
     ag::Var gates = ag::add(ag::concat(gate_parts, 1), bias);

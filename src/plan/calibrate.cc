@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "autograd/ops.h"
+#include "kernels/kernels.h"
 #include "metrics/metrics.h"
 #include "optim/optim.h"
 #include "runtime/shm_cluster.h"
@@ -75,11 +77,19 @@ double calibrate_gemm_flops(int reps) {
   Rng rng(29);
   const Tensor a = rng.randn(Shape{n, n});
   const Tensor b = rng.randn(Shape{n, n});
-  Tensor c = matmul(a, b);  // warm-up
+  Tensor c = matmul(a, b);  // warm-up (also faults in backend dispatch)
   metrics::Timer t;
   for (int r = 0; r < reps; ++r) c = matmul(a, b);
   const double secs = t.seconds() / reps;
   return 2.0 * static_cast<double>(n) * n * n / std::max(secs, 1e-12);
+}
+
+double calibrate_gemm_flops_backend(const char* backend, int reps) {
+  const std::string prev = kernels::backend_name();
+  if (!kernels::set_backend(backend)) return 0.0;
+  const double flops = calibrate_gemm_flops(reps);
+  kernels::set_backend(prev.c_str());
+  return flops;
 }
 
 double measure_step_seconds(const core::VisionModelFactory& make_model,

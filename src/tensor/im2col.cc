@@ -1,81 +1,24 @@
 #include "tensor/im2col.h"
 
-#include <algorithm>
-
-#include "runtime/thread_pool.h"
+#include "kernels/kernels.h"
 #include "trace/trace.h"
 
 namespace pf {
 
-namespace {
-
-// Column rows per parallel chunk: each row is `spatial` floats, so target a
-// few KB of writes per chunk to keep dispatch overhead off small convs.
-int64_t col_row_grain(int64_t spatial) {
-  return std::max<int64_t>(1, 8192 / std::max<int64_t>(1, spatial));
-}
-
-}  // namespace
+// Thin dispatching wrappers: the loop nests live in the kernel backend
+// (pf::kernels::Backend::im2col / col2im defaults in src/kernels/kernels.cc).
+// Trace spans stay here so flop accounting is identical for every backend.
 
 void im2col(const float* img, const ConvGeom& g, float* col) {
-  const int64_t oh = g.out_h(), ow = g.out_w();
-  const int64_t spatial = oh * ow;
-  const int64_t kk2 = g.kernel * g.kernel;
-  PF_TRACE_SCOPE_C("im2col", g.c_in * kk2 * spatial);
-  // Column layout: row index = (c*k + ki)*k + kj, col index = oy*ow + ox.
-  // Every column row is written by exactly one chunk, so the parallel split
-  // over rows is race-free and bit-identical to the serial walk.
-  runtime::parallel_for(
-      0, g.c_in * kk2, col_row_grain(spatial), [=](int64_t r0, int64_t r1) {
-        for (int64_t r = r0; r < r1; ++r) {
-          const int64_t c = r / kk2;
-          const int64_t ki = (r % kk2) / g.kernel;
-          const int64_t kj = r % g.kernel;
-          const float* plane = img + c * g.h * g.w;
-          float* crow = col + r * spatial;
-          for (int64_t oy = 0; oy < oh; ++oy) {
-            const int64_t iy = oy * g.stride - g.pad + ki;
-            if (iy < 0 || iy >= g.h) {
-              for (int64_t ox = 0; ox < ow; ++ox) crow[oy * ow + ox] = 0.0f;
-              continue;
-            }
-            const float* srow = plane + iy * g.w;
-            for (int64_t ox = 0; ox < ow; ++ox) {
-              const int64_t ix = ox * g.stride - g.pad + kj;
-              crow[oy * ow + ox] = (ix >= 0 && ix < g.w) ? srow[ix] : 0.0f;
-            }
-          }
-        }
-      });
+  const int64_t spatial = g.out_h() * g.out_w();
+  PF_TRACE_SCOPE_C("im2col", g.c_in * g.kernel * g.kernel * spatial);
+  kernels::active().im2col(img, g, col);
 }
 
 void col2im(const float* col, const ConvGeom& g, float* img) {
-  const int64_t oh = g.out_h(), ow = g.out_w();
-  const int64_t spatial = oh * ow;
+  const int64_t spatial = g.out_h() * g.out_w();
   PF_TRACE_SCOPE_C("col2im", g.c_in * g.kernel * g.kernel * spatial);
-  // Scatter-add: all (ki, kj) rows of one channel accumulate into the same
-  // image plane, so the parallel split is over channels only -- planes are
-  // disjoint and each keeps the serial accumulation order.
-  runtime::parallel_for(0, g.c_in, 1, [=](int64_t c0, int64_t c1) {
-    for (int64_t c = c0; c < c1; ++c) {
-      float* plane = img + c * g.h * g.w;
-      for (int64_t ki = 0; ki < g.kernel; ++ki) {
-        for (int64_t kj = 0; kj < g.kernel; ++kj) {
-          const float* crow =
-              col + ((c * g.kernel + ki) * g.kernel + kj) * spatial;
-          for (int64_t oy = 0; oy < oh; ++oy) {
-            const int64_t iy = oy * g.stride - g.pad + ki;
-            if (iy < 0 || iy >= g.h) continue;
-            float* srow = plane + iy * g.w;
-            for (int64_t ox = 0; ox < ow; ++ox) {
-              const int64_t ix = ox * g.stride - g.pad + kj;
-              if (ix >= 0 && ix < g.w) srow[ix] += crow[oy * ow + ox];
-            }
-          }
-        }
-      }
-    }
-  });
+  kernels::active().col2im(col, g, img);
 }
 
 }  // namespace pf

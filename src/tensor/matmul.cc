@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "kernels/kernels.h"
 #include "runtime/thread_pool.h"
 #include "trace/trace.h"
 
@@ -13,41 +14,15 @@ void check(bool cond, const char* msg) {
   if (!cond) throw std::runtime_error(msg);
 }
 
-constexpr int64_t kBlockK = 128;
-constexpr int64_t kBlockN = 256;
-
-// Rows per parallel chunk: target ~256k multiply-adds per chunk so small
-// GEMMs stay on the calling thread, with a floor of 4 rows so a chunk
-// amortizes the blocked-loop setup. Row-parallel chunking is bitwise-safe:
-// every output row is produced by exactly one chunk with the same
-// per-element accumulation order as the serial kernel.
-int64_t row_grain(int64_t k, int64_t n) {
-  constexpr int64_t kTargetFlops = 1 << 18;
-  return std::max<int64_t>(4, kTargetFlops / std::max<int64_t>(1, k * n));
-}
-
 }  // namespace
 
+// Raw accumulate kernel, preserved for external callers (conv lowering).
+// Traced as "gemm" so conv-internal GEMMs show up in the flop accounting
+// alongside the tensor-level matmul spans.
 void matmul_accum(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n) {
-  // Blocked ikj: for each (i, kk-block, nn-block), the inner loop over j is
-  // contiguous in both b and c.
-  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const int64_t k1 = std::min(k0 + kBlockK, k);
-    for (int64_t n0 = 0; n0 < n; n0 += kBlockN) {
-      const int64_t n1 = std::min(n0 + kBlockN, n);
-      for (int64_t i = 0; i < m; ++i) {
-        float* crow = c + i * n;
-        const float* arow = a + i * k;
-        for (int64_t kk = k0; kk < k1; ++kk) {
-          const float aval = arow[kk];
-          if (aval == 0.0f) continue;
-          const float* brow = b + kk * n;
-          for (int64_t j = n0; j < n1; ++j) crow[j] += aval * brow[j];
-        }
-      }
-    }
-  }
+  PF_TRACE_SCOPE_C("gemm", m * k * n);
+  kernels::active().gemm_nn(a, b, c, m, k, n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -56,14 +31,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   PF_TRACE_SCOPE_C("matmul", m * k * n);
   Tensor c(Shape{m, n});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = c.data();
-  runtime::parallel_for(0, m, row_grain(k, n),
-                        [=](int64_t r0, int64_t r1) {
-                          matmul_accum(ad + r0 * k, bd, cd + r0 * n, r1 - r0,
-                                       k, n);
-                        });
+  kernels::active().gemm_nn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -73,24 +41,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   PF_TRACE_SCOPE_C("matmul_tn", m * k * n);
   Tensor c(Shape{m, n});
-  float* cd = c.data();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  // c[i,j] = sum_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads
-  // stream contiguously. Parallel over output-row ranges: each chunk keeps
-  // the kk-ascending accumulation order of the serial kernel.
-  runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float* arow = ad + kk * m;
-      const float* brow = bd + kk * n;
-      for (int64_t i = r0; i < r1; ++i) {
-        const float aval = arow[i];
-        if (aval == 0.0f) continue;
-        float* crow = cd + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-      }
-    }
-  });
+  kernels::active().gemm_tn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -99,37 +50,14 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check(a.size(1) == b.size(1), "matmul_nt: inner dim mismatch");
   const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   PF_TRACE_SCOPE_C("matmul_nt", m * k * n);
-  Tensor c(Shape{m, n});
-  float* cd = c.data();
-  const float* ad = a.data();
-  const float* bd = b.data();
-  // c[i,j] = dot(a_row_i, b_row_j): both rows contiguous. Four independent
-  // float accumulators keep the loop vectorizable (a single double
-  // accumulator serializes the FMA chain and costs ~10x). Rows are fully
-  // independent, so the parallel split is trivially bitwise-stable.
-  runtime::parallel_for(0, m, row_grain(k, n), [=](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* arow = ad + i * k;
-      float* crow = cd + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = bd + j * k;
-        float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-        int64_t kk = 0;
-        for (; kk + 4 <= k; kk += 4) {
-          acc0 += arow[kk] * brow[kk];
-          acc1 += arow[kk + 1] * brow[kk + 1];
-          acc2 += arow[kk + 2] * brow[kk + 2];
-          acc3 += arow[kk + 3] * brow[kk + 3];
-        }
-        float acc = (acc0 + acc1) + (acc2 + acc3);
-        for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
-      }
-    }
-  });
+  Tensor c(Shape{m, n});  // zero-filled, per the gemm_nt contract
+  kernels::active().gemm_nt(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
+// Batched variants parallelize over batch items (grain 1, the seed split);
+// the per-item backend GEMM's internal parallel_for then degrades to a
+// serial walk of the same chunks, so per-item bits match the 2-D kernels.
 Tensor bmm(const Tensor& a, const Tensor& b) {
   check(a.dim() == 3 && b.dim() == 3, "bmm: 3-D tensors required");
   check(a.size(0) == b.size(0) && a.size(2) == b.size(1), "bmm: dim mismatch");
@@ -139,9 +67,10 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* cd = c.data();
-  runtime::parallel_for(0, bt, 1, [=](int64_t i0, int64_t i1) {
+  const kernels::Backend& be = kernels::active();
+  runtime::parallel_for(0, bt, 1, [=, &be](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i)
-      matmul_accum(ad + i * m * k, bd + i * k * n, cd + i * m * n, m, k, n);
+      be.gemm_nn(ad + i * m * k, bd + i * k * n, cd + i * m * n, m, k, n);
   });
   return c;
 }
@@ -153,31 +82,13 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
   const int64_t bt = a.size(0), m = a.size(1), k = a.size(2), n = b.size(1);
   PF_TRACE_SCOPE_C("bmm_nt", bt * m * k * n);
   Tensor c(Shape{bt, m, n});
-  const float* abase = a.data();
-  const float* bbase = b.data();
-  float* cbase = c.data();
-  runtime::parallel_for(0, bt, 1, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* ad = abase + i * m * k;
-      const float* bd = bbase + i * n * k;
-      float* cd = cbase + i * m * n;
-      for (int64_t r = 0; r < m; ++r)
-        for (int64_t cc = 0; cc < n; ++cc) {
-          const float* arow = ad + r * k;
-          const float* brow = bd + cc * k;
-          float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-          int64_t kk = 0;
-          for (; kk + 4 <= k; kk += 4) {
-            acc0 += arow[kk] * brow[kk];
-            acc1 += arow[kk + 1] * brow[kk + 1];
-            acc2 += arow[kk + 2] * brow[kk + 2];
-            acc3 += arow[kk + 3] * brow[kk + 3];
-          }
-          float acc = (acc0 + acc1) + (acc2 + acc3);
-          for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          cd[r * n + cc] = acc;
-        }
-    }
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  const kernels::Backend& be = kernels::active();
+  runtime::parallel_for(0, bt, 1, [=, &be](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i)
+      be.gemm_nt(ad + i * m * k, bd + i * n * k, cd + i * m * n, m, k, n);
   });
   return c;
 }
@@ -189,25 +100,13 @@ Tensor bmm_tn(const Tensor& a, const Tensor& b) {
   const int64_t bt = a.size(0), k = a.size(1), m = a.size(2), n = b.size(2);
   PF_TRACE_SCOPE_C("bmm_tn", bt * m * k * n);
   Tensor c(Shape{bt, m, n});
-  const float* abase = a.data();
-  const float* bbase = b.data();
-  float* cbase = c.data();
-  runtime::parallel_for(0, bt, 1, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* ad = abase + i * k * m;
-      const float* bd = bbase + i * k * n;
-      float* cd = cbase + i * m * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float* arow = ad + kk * m;
-        const float* brow = bd + kk * n;
-        for (int64_t r = 0; r < m; ++r) {
-          const float aval = arow[r];
-          if (aval == 0.0f) continue;
-          float* crow = cd + r * n;
-          for (int64_t cc = 0; cc < n; ++cc) crow[cc] += aval * brow[cc];
-        }
-      }
-    }
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  const kernels::Backend& be = kernels::active();
+  runtime::parallel_for(0, bt, 1, [=, &be](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i)
+      be.gemm_tn(ad + i * k * m, bd + i * k * n, cd + i * m * n, m, k, n);
   });
   return c;
 }

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
+#include "kernels/kernels.h"
 #include "metrics/ascii_chart.h"
 
 namespace pf::trace {
@@ -236,14 +238,32 @@ std::vector<FlameRow> aggregate(const std::vector<Event>& events) {
     const double dur = static_cast<double>(e.end_ns - e.begin_ns);
     r.total_ms += dur / 1e6;
     r.self_ms += std::max(0.0, dur - child_ns[i]) / 1e6;
+    if (e.counter > 0) r.counter_sum += e.counter;
   }
   std::vector<FlameRow> out;
   out.reserve(rows.size());
   for (auto& kv : rows) out.push_back(std::move(kv.second));
+  for (FlameRow& r : out) {
+    // Achieved throughput for GEMM-family spans: counters count multiply-
+    // adds, so flops = 2 * counter. Total (not self) time is the right
+    // denominator -- a span's nested children are part of executing it.
+    if (is_gemm_span(r.name.c_str()) && r.counter_sum > 0 && r.total_ms > 0)
+      r.gflops = 2.0 * static_cast<double>(r.counter_sum) / (r.total_ms * 1e6);
+  }
   std::sort(out.begin(), out.end(), [](const FlameRow& a, const FlameRow& b) {
     return a.self_ms != b.self_ms ? a.self_ms > b.self_ms : a.name < b.name;
   });
   return out;
+}
+
+bool is_gemm_span(const char* name) {
+  static constexpr const char* kGemmSpans[] = {
+      "matmul", "matmul_tn", "matmul_nt", "bmm",          "bmm_nt",
+      "bmm_tn", "gemm",      "lowrank",   "lowrank_conv",
+  };
+  for (const char* s : kGemmSpans)
+    if (std::strcmp(s, name) == 0) return true;
+  return false;
 }
 
 std::string flame_summary(const std::vector<Event>& events, int width) {
@@ -251,13 +271,20 @@ std::string flame_summary(const std::vector<Event>& events, int width) {
   const std::vector<FlameRow> rows = aggregate(events);
   std::vector<metrics::Bar> bars;
   bars.reserve(rows.size());
-  char buf[64];
+  char buf[96];
   for (const FlameRow& r : rows) {
-    std::snprintf(buf, sizeof(buf), "x%llu total %.3f ms",
-                  static_cast<unsigned long long>(r.count), r.total_ms);
+    if (r.gflops > 0)
+      std::snprintf(buf, sizeof(buf), "x%llu total %.3f ms, %.1f GFLOP/s",
+                    static_cast<unsigned long long>(r.count), r.total_ms,
+                    r.gflops);
+    else
+      std::snprintf(buf, sizeof(buf), "x%llu total %.3f ms",
+                    static_cast<unsigned long long>(r.count), r.total_ms);
     bars.push_back({r.name, r.self_ms, buf});
   }
-  std::string out = "span self-time (ms):\n";
+  std::string out = "span self-time (ms, kernel backend: ";
+  out += kernels::backend_name();
+  out += "):\n";
   out += metrics::render_bars(bars, width);
   return out;
 }

@@ -111,7 +111,18 @@ struct FlameRow {
   std::uint64_t count = 0;
   double total_ms = 0.0;  // sum of span durations
   double self_ms = 0.0;   // total minus time in same-thread nested children
+  // Sum of non-negative counter payloads across this name's spans, and the
+  // achieved GFLOP/s it implies (2 * counter / total time) when the name is
+  // a known GEMM-family span whose counter counts multiply-adds; 0 when not.
+  std::int64_t counter_sum = 0;
+  double gflops = 0.0;
 };
+
+// True for span names whose counter payload is a multiply-add count
+// ("matmul", "bmm_nt", "gemm", "lowrank", ...), i.e. the spans for which
+// FlameRow::gflops is meaningful. The backend executing those kernels is
+// pf::kernels::backend_name().
+bool is_gemm_span(const char* name);
 
 // Aggregate events by span name, sorted by self time descending.
 std::vector<FlameRow> aggregate(const std::vector<Event>& events);

@@ -1,0 +1,400 @@
+// pf::kernels backend tests: registry dispatch, the scalar backend's
+// bitwise identity with the seed loop order, the AVX2 backend's per-op
+// tolerance tier, cross-thread determinism, and the fused low-rank forward.
+//
+// The reference kernels below reproduce the pre-refactor accumulation
+// orders (ascending-k with the zero-skip for NN/TN, the four-way split
+// dot for NT) as plain serial loops. Per output element those orders are
+// what the seed's blocked/parallel code produced, so "bitwise equal to
+// reference" == "bitwise equal to seed".
+#include "kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "gradcheck.h"
+#include "runtime/thread_pool.h"
+#include "tensor/matmul.h"
+#include "tensor/rng.h"
+#include "trace/trace.h"
+
+namespace pf {
+namespace {
+
+// Restores the active backend and the thread pool on scope exit, so each
+// test can switch freely without leaking state into the rest of the suite.
+struct BackendGuard {
+  std::string prev;
+  BackendGuard() : prev(kernels::backend_name()) {}
+  ~BackendGuard() {
+    kernels::set_backend(prev.c_str());
+    runtime::set_threads(0);  // back to the PF_THREADS env default
+  }
+};
+
+Tensor ref_matmul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  Tensor c(Shape{m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aval = ad[i * k + kk];
+      if (aval == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j) cd[i * n + j] += aval * bd[kk * n + j];
+    }
+  return c;
+}
+
+Tensor ref_matmul_tn(const Tensor& a, const Tensor& b) {
+  const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  Tensor c(Shape{m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aval = ad[kk * m + i];
+      if (aval == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j) cd[i * n + j] += aval * bd[kk * n + j];
+    }
+  return c;
+}
+
+Tensor ref_matmul_nt(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  Tensor c(Shape{m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      const float* arow = ad + i * k;
+      const float* brow = bd + j * k;
+      float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      int64_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 += arow[kk] * brow[kk];
+        acc1 += arow[kk + 1] * brow[kk + 1];
+        acc2 += arow[kk + 2] * brow[kk + 2];
+        acc3 += arow[kk + 3] * brow[kk + 3];
+      }
+      float acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      cd[i * n + j] = acc;
+    }
+  return c;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// Per-op ulp-scaled tolerance for cross-backend comparisons: the AVX2
+// kernel reassociates the k-sum, so the error bound grows with k and the
+// operand magnitudes.
+float cross_backend_tol(const Tensor& a, const Tensor& b, int64_t k) {
+  float amax = 0, bmax = 0;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    amax = std::max(amax, std::fabs(a.data()[i]));
+  for (int64_t i = 0; i < b.numel(); ++i)
+    bmax = std::max(bmax, std::fabs(b.data()[i]));
+  return 16.0f * FLT_EPSILON * static_cast<float>(k) * amax * bmax + 1e-7f;
+}
+
+void expect_close(const Tensor& got, const Tensor& want, float tol,
+                  const char* what) {
+  ASSERT_EQ(got.numel(), want.numel());
+  float worst = 0;
+  for (int64_t i = 0; i < got.numel(); ++i)
+    worst = std::max(worst, std::fabs(got.data()[i] - want.data()[i]));
+  EXPECT_LE(worst, tol) << what << ": max |diff| " << worst;
+}
+
+// Fuzz shapes: odd extents, tails below the 6x16 microtile, k = 1, exact
+// tile multiples, and sizes straddling the packed-path cutoff and the MC/KC
+// cache blocks.
+struct GemmShape {
+  int64_t m, k, n;
+};
+const std::vector<GemmShape>& fuzz_shapes() {
+  static const std::vector<GemmShape> shapes = {
+      {1, 1, 1},    {1, 7, 1},     {2, 1, 3},     {3, 5, 2},
+      {5, 3, 15},   {6, 8, 16},    {7, 17, 9},    {8, 13, 31},
+      {13, 1, 17},  {16, 16, 16},  {17, 31, 33},  {31, 47, 5},
+      {33, 64, 63}, {47, 95, 17},  {64, 97, 96},  {95, 33, 128},
+      {96, 384, 16}, {97, 385, 17}, {128, 128, 128}, {130, 77, 201},
+  };
+  return shapes;
+}
+
+TEST(KernelsBackend, RegistryAndDispatch) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  EXPECT_STREQ(kernels::backend_name(), "scalar");
+  EXPECT_FALSE(kernels::set_backend("no-such-backend"));
+  EXPECT_STREQ(kernels::backend_name(), "scalar");  // unchanged on failure
+  EXPECT_EQ(kernels::set_backend("avx2"), kernels::avx2_supported());
+  ASSERT_TRUE(kernels::set_backend("auto"));
+  if (kernels::avx2_supported()) {
+    EXPECT_STREQ(kernels::backend_name(), "avx2");
+    EXPECT_TRUE(kernels::avx2_compiled());
+  } else {
+    EXPECT_STREQ(kernels::backend_name(), "scalar");
+  }
+}
+
+TEST(KernelsScalar, BitwiseMatchesSeedReferenceAcrossThreads) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(123);
+  for (const GemmShape& s : fuzz_shapes()) {
+    const Tensor a = rng.randn(Shape{s.m, s.k});
+    const Tensor b = rng.randn(Shape{s.k, s.n});
+    const Tensor at = rng.randn(Shape{s.k, s.m});
+    const Tensor bt = rng.randn(Shape{s.n, s.k});
+    const Tensor c_nn = ref_matmul(a, b);
+    const Tensor c_tn = ref_matmul_tn(at, b);
+    const Tensor c_nt = ref_matmul_nt(a, bt);
+    for (int threads : {1, 4}) {
+      runtime::set_threads(threads);
+      EXPECT_TRUE(bitwise_equal(matmul(a, b), c_nn))
+          << "nn " << s.m << "x" << s.k << "x" << s.n << " t" << threads;
+      EXPECT_TRUE(bitwise_equal(matmul_tn(at, b), c_tn))
+          << "tn " << s.m << "x" << s.k << "x" << s.n << " t" << threads;
+      EXPECT_TRUE(bitwise_equal(matmul_nt(a, bt), c_nt))
+          << "nt " << s.m << "x" << s.k << "x" << s.n << " t" << threads;
+    }
+  }
+}
+
+TEST(KernelsAvx2, MatchesReferenceWithinUlpTolerance) {
+  if (!kernels::avx2_supported())
+    GTEST_SKIP() << "host CPU lacks AVX2/FMA; avx2 backend unavailable";
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("avx2"));
+  Rng rng(321);
+  for (const GemmShape& s : fuzz_shapes()) {
+    const Tensor a = rng.randn(Shape{s.m, s.k});
+    const Tensor b = rng.randn(Shape{s.k, s.n});
+    const Tensor at = rng.randn(Shape{s.k, s.m});
+    const Tensor bt = rng.randn(Shape{s.n, s.k});
+    const Tensor c_nn = ref_matmul(a, b);
+    const Tensor c_tn = ref_matmul_tn(at, b);
+    const Tensor c_nt = ref_matmul_nt(a, bt);
+    for (int threads : {1, 4}) {
+      runtime::set_threads(threads);
+      expect_close(matmul(a, b), c_nn, cross_backend_tol(a, b, s.k), "nn");
+      expect_close(matmul_tn(at, b), c_tn, cross_backend_tol(at, b, s.k),
+                   "tn");
+      expect_close(matmul_nt(a, bt), c_nt, cross_backend_tol(a, bt, s.k),
+                   "nt");
+    }
+  }
+}
+
+TEST(KernelsAvx2, BitwiseIdenticalAcrossThreads) {
+  if (!kernels::avx2_supported())
+    GTEST_SKIP() << "host CPU lacks AVX2/FMA; avx2 backend unavailable";
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("avx2"));
+  Rng rng(77);
+  // Shapes chosen to span multiple MC row chunks and KC k-blocks, so the
+  // parallel partition is actually exercised.
+  for (const GemmShape& s :
+       {GemmShape{200, 500, 40}, GemmShape{97, 385, 130}}) {
+    const Tensor a = rng.randn(Shape{s.m, s.k});
+    const Tensor b = rng.randn(Shape{s.k, s.n});
+    const Tensor bt = rng.randn(Shape{s.n, s.k});
+    runtime::set_threads(1);
+    const Tensor nn1 = matmul(a, b), nt1 = matmul_nt(a, bt);
+    runtime::set_threads(4);
+    EXPECT_TRUE(bitwise_equal(matmul(a, b), nn1));
+    EXPECT_TRUE(bitwise_equal(matmul_nt(a, bt), nt1));
+  }
+}
+
+TEST(KernelsLowrank, FusedMatchesUnfusedBitwiseOnScalar) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(55);
+  // (m, in, r, out): rank-1, tails, and row counts crossing the 64-row
+  // blocking of the fused driver.
+  const int64_t cases[][4] = {
+      {1, 1, 1, 1}, {3, 7, 1, 5}, {9, 16, 4, 11}, {65, 33, 8, 17},
+      {130, 64, 16, 48}, {200, 96, 24, 96},
+  };
+  for (const auto& c : cases) {
+    const int64_t m = c[0], in = c[1], r = c[2], out = c[3];
+    const Tensor x = rng.randn(Shape{m, in});
+    const Tensor v = rng.randn(Shape{in, r});
+    const Tensor u = rng.randn(Shape{out, r});
+    const Tensor t_ref = ref_matmul(x, v);
+    const Tensor y_ref = ref_matmul_nt(t_ref, u);
+    for (int threads : {1, 4}) {
+      runtime::set_threads(threads);
+      Tensor t_out;
+      const Tensor y = kernels::lowrank_matmul(x, v, u, &t_out);
+      EXPECT_TRUE(bitwise_equal(y, y_ref)) << m << "x" << in << " r" << r;
+      EXPECT_TRUE(bitwise_equal(t_out, t_ref)) << "intermediate";
+      // Without t_out (eval path, pooled scratch): same output bits.
+      EXPECT_TRUE(bitwise_equal(kernels::lowrank_matmul(x, v, u), y_ref));
+    }
+  }
+}
+
+TEST(KernelsLowrank, FusedWithinToleranceOnAvx2) {
+  if (!kernels::avx2_supported())
+    GTEST_SKIP() << "host CPU lacks AVX2/FMA; avx2 backend unavailable";
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("avx2"));
+  Rng rng(56);
+  const int64_t m = 130, in = 96, r = 16, out = 80;
+  const Tensor x = rng.randn(Shape{m, in});
+  const Tensor v = rng.randn(Shape{in, r});
+  const Tensor u = rng.randn(Shape{out, r});
+  const Tensor t_ref = ref_matmul(x, v);
+  const Tensor y_ref = ref_matmul_nt(t_ref, u);
+  // Two reassociated stages: combine both stages' tolerance bounds.
+  const float tol = cross_backend_tol(x, v, in) * 4.0f +
+                    cross_backend_tol(t_ref, u, r);
+  for (int threads : {1, 4}) {
+    runtime::set_threads(threads);
+    expect_close(kernels::lowrank_matmul(x, v, u), y_ref, tol, "lowrank");
+  }
+}
+
+TEST(KernelsLowrank, LinearOpBitwiseMatchesTwoOpTape) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(57);
+  const int64_t m = 12, in = 10, r = 3, out = 7;
+  const Tensor x = rng.randn(Shape{m, in});
+  const Tensor v = rng.randn(Shape{in, r});
+  const Tensor u = rng.randn(Shape{out, r});
+  const Tensor dy = rng.randn(Shape{m, out});
+
+  auto run = [&](bool fused) {
+    ag::Var xl = ag::leaf(x, true);
+    ag::Var vl = ag::leaf(v, true);
+    ag::Var ul = ag::leaf(u, true);
+    ag::Var y = fused ? ag::lowrank_linear(xl, vl, ul)
+                      : ag::matmul_nt(ag::matmul(xl, vl), ul);
+    ag::backward(y, dy);
+    return std::vector<Tensor>{y->value, xl->grad, vl->grad, ul->grad};
+  };
+  const std::vector<Tensor> fused = run(true);
+  const std::vector<Tensor> unfused = run(false);
+  for (size_t i = 0; i < fused.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(fused[i], unfused[i])) << "tensor " << i;
+}
+
+TEST(KernelsLowrank, LinearOpGradcheck) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(58);
+  testing::gradcheck(
+      [](const std::vector<ag::Var>& in) {
+        return ag::sum_all(ag::lowrank_linear(in[0], in[1], in[2]));
+      },
+      {rng.randn(Shape{4, 5}), rng.randn(Shape{5, 2}),
+       rng.randn(Shape{3, 2})});
+}
+
+TEST(KernelsLowrank, Conv2dFusedMatchesTwoConvEval) {
+  BackendGuard guard;
+  Rng rng(59);
+  const int64_t n = 2, c_in = 5, h = 9, w = 9, r = 3, c_out = 8, k = 3;
+  const Tensor x = rng.randn(Shape{n, c_in, h, w});
+  const Tensor u = rng.randn(Shape{r, c_in, k, k});
+  const Tensor v = rng.randn(Shape{c_out, r, 1, 1});
+  ag::NoGradGuard ng;
+  for (const char* backend : {"scalar", "avx2"}) {
+    if (!kernels::set_backend(backend)) continue;  // avx2 host gate
+    ag::Var xl = ag::leaf(x);
+    ag::Var ul = ag::leaf(u);
+    ag::Var vl = ag::leaf(v);
+    const Tensor fused = ag::lowrank_conv2d(xl, ul, vl, 1, 1)->value;
+    const Tensor two =
+        ag::conv2d(ag::conv2d(xl, ul, 1, 1), vl, 1, 0)->value;
+    // Same backend on both sides: the fusion only reorders per-sample loop
+    // structure, never per-element accumulation, so bits must match.
+    EXPECT_TRUE(bitwise_equal(fused, two)) << backend;
+  }
+}
+
+TEST(KernelsLowrank, Conv2dThrowsWhenTaped) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(60);
+  ag::Var x = ag::leaf(rng.randn(Shape{1, 2, 5, 5}), true);
+  ag::Var u = ag::leaf(rng.randn(Shape{2, 2, 3, 3}), true);
+  ag::Var v = ag::leaf(rng.randn(Shape{4, 2, 1, 1}), true);
+  EXPECT_THROW(ag::lowrank_conv2d(x, u, v, 1, 1), std::runtime_error);
+}
+
+TEST(KernelsTrace, GemmSpansReportAchievedGflops) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(62);
+  const Tensor a = rng.randn(Shape{64, 64});
+  const Tensor b = rng.randn(Shape{64, 64});
+  const bool was = trace::enabled();
+  trace::set_enabled(true);
+  trace::drain();  // drop spans buffered by earlier tests
+  matmul(a, b);
+  const std::vector<trace::Event> events = trace::drain();
+  trace::set_enabled(was);
+  const std::vector<trace::FlameRow> rows = trace::aggregate(events);
+  bool found = false;
+  for (const trace::FlameRow& r : rows) {
+    if (r.name != "matmul") continue;
+    found = true;
+    EXPECT_EQ(r.counter_sum, 64 * 64 * 64);  // madds payload
+    EXPECT_GT(r.gflops, 0.0);                // 2*madds / total time
+  }
+  EXPECT_TRUE(found) << "no matmul span recorded";
+  EXPECT_TRUE(trace::is_gemm_span("lowrank"));
+  EXPECT_FALSE(trace::is_gemm_span("im2col"));
+}
+
+TEST(KernelsBmm, BatchedVariantsBitwiseOnScalar) {
+  BackendGuard guard;
+  ASSERT_TRUE(kernels::set_backend("scalar"));
+  Rng rng(61);
+  const int64_t bt = 3, m = 7, k = 13, n = 5;
+  const Tensor a = rng.randn(Shape{bt, m, k});
+  const Tensor b = rng.randn(Shape{bt, k, n});
+  const Tensor bnt = rng.randn(Shape{bt, n, k});
+  const Tensor atn = rng.randn(Shape{bt, k, m});
+  for (int threads : {1, 4}) {
+    runtime::set_threads(threads);
+    const Tensor c = bmm(a, b);
+    const Tensor cnt = bmm_nt(a, bnt);
+    const Tensor ctn = bmm_tn(atn, b);
+    for (int64_t i = 0; i < bt; ++i) {
+      const Tensor ai = a.narrow(i, 1).reshape(Shape{m, k});
+      const Tensor bi = b.narrow(i, 1).reshape(Shape{k, n});
+      const Tensor bnti = bnt.narrow(i, 1).reshape(Shape{n, k});
+      const Tensor atni = atn.narrow(i, 1).reshape(Shape{k, m});
+      EXPECT_TRUE(bitwise_equal(c.narrow(i, 1).reshape(Shape{m, n}),
+                                ref_matmul(ai, bi)));
+      EXPECT_TRUE(bitwise_equal(cnt.narrow(i, 1).reshape(Shape{m, n}),
+                                ref_matmul_nt(ai, bnti)));
+      EXPECT_TRUE(bitwise_equal(ctn.narrow(i, 1).reshape(Shape{m, n}),
+                                ref_matmul_tn(atni, bi)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pf
