@@ -21,6 +21,7 @@
 #include "plan/calibrate.h"
 #include "plan/comm_sim.h"
 #include "plan/planner.h"
+#include "plan/serve_density.h"
 #include "runtime/shm_cluster.h"
 
 using namespace bench;
@@ -105,6 +106,31 @@ int main(int argc, char** argv) {
   std::printf("Best plan per profile (modeled time-to-%0.2f-accuracy):\n",
               0.96);
   grid.print();
+
+  // --- Serving density: models-per-GB per profile ---------------------
+  // The serving-memory term of each profile divided by the INTROSPECTED
+  // engine footprint (built + quantized through src/quant, not estimated),
+  // for the paper's hybrid ResNet-18: how many resident engines a fleet
+  // node holds at fp32 vs quantized.
+  std::printf("\nServing density (hybrid ResNet-18, rank 0.25):\n");
+  metrics::Table dens({"profile", "serve mem", "fp32 fit", "int8 fit",
+                       "bf16 fit", "int8/fp32 density"});
+  for (const pf::dist::HardwareProfile& hw : profiles) {
+    const plan::ServeDensity d =
+        plan::serve_density("resnet18", 0.25, 10, 0.25, 2, hw);
+    dens.add_row({hw.name, metrics::fmt_bytes(hw.serve_mem_bytes),
+                  metrics::fmt_int(d.fp32_models),
+                  metrics::fmt_int(d.int8_models),
+                  metrics::fmt_int(d.bf16_models),
+                  metrics::fmt_ratio(d.int8_per_gb / d.fp32_per_gb)});
+    report.section("serve_density:" + hw.name);
+    report.kv("fp32_bytes", static_cast<double>(d.fp32_bytes));
+    report.kv("int8_bytes", static_cast<double>(d.int8_bytes));
+    report.kv("bf16_bytes", static_cast<double>(d.bf16_bytes));
+    report.kv("fp32_models", static_cast<double>(d.fp32_models));
+    report.kv("int8_models", static_cast<double>(d.int8_models));
+  }
+  dens.print();
 
   if (grid_only) {
     if (want_json) report.emit("plan", json_path);

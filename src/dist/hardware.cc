@@ -17,6 +17,7 @@ HardwareProfile HardwareProfile::rdma_100g() {
   p.intra_bandwidth_bytes_per_s = 300e9 / 8;
   p.workers_per_node = 8;
   p.flops_per_s = 50e9;
+  p.serve_mem_bytes = 32ll << 30;
   return p;
 }
 
@@ -26,6 +27,7 @@ HardwareProfile HardwareProfile::commodity_1g() {
   p.alpha_s = 200e-6;
   p.bandwidth_bytes_per_s = 1e9 / 8;
   p.flops_per_s = 50e9;
+  p.serve_mem_bytes = 4ll << 30;
   return p;
 }
 

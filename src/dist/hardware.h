@@ -48,6 +48,12 @@ struct HardwareProfile {
   // single-replica step time. Calibration sets this to the host core count.
   int compute_slots = 0;
 
+  // Serving memory per node available for resident model weights (the
+  // fleet-density budget plan::serve_density divides by). Activations and
+  // request queues are budgeted separately; this bounds how many engines a
+  // multi-model fleet can keep materialized.
+  int64_t serve_mem_bytes = 8ll << 30;
+
   bool hierarchical() const { return workers_per_node > 1; }
 
   // The profile grid bench_plan sweeps (Table 19/20 style trade-off study

@@ -27,6 +27,19 @@
 
 namespace pf::kernels {
 
+// Weight quantization modes (qmat.h holds the owning QuantizedMat type).
+enum class QMode : uint8_t { kInt8 = 0, kBf16 = 1 };
+
+// Non-owning view of one quantized operand. Exactly one of `q` (int8 codes,
+// with `scales` holding one fp32 scale per stored row) or `b16` (bf16 bit
+// patterns, no scales) is non-null. The stored-row axis is always the
+// non-contracted axis of the GEMM the view feeds.
+struct QView {
+  const int8_t* q = nullptr;
+  const uint16_t* b16 = nullptr;
+  const float* scales = nullptr;
+};
+
 // A kernel implementation. GEMM methods take tightly-packed row-major
 // operands (lda == k etc.); they parallelize internally over output rows via
 // runtime::parallel_for, so callers invoke them once per logical GEMM, not
@@ -53,6 +66,19 @@ class Backend {
   // zero-padding semantics are fixed by tensor/im2col.h.
   virtual void im2col(const float* img, const ConvGeom& g, float* col) const;
   virtual void col2im(const float* col, const ConvGeom& g, float* img) const;
+
+  // Quantized-weight GEMMs (the serving dequant-GEMM path; see qmat.h for
+  // the layout contract). Defaults dequantize the quantized operand into
+  // pooled scratch and call this backend's own float GEMM -- the reference
+  // semantics every fused override must match bit-for-bit.
+  //
+  // c[m,n] <- a[m,k] @ qb^T where qb is stored (n, k) with per-n scales.
+  // Same zero-filled-c contract as gemm_nt.
+  virtual void gemm_nt_q(const float* a, const QView& b, float* c, int64_t m,
+                         int64_t k, int64_t n) const;
+  // c[m,n] += qa @ b[k,n] where qa is stored (m, k) with per-m scales.
+  virtual void gemm_qa_nn(const QView& a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n) const;
 };
 
 // The active backend (resolves PF_BACKEND on first call; thread-safe).

@@ -1,0 +1,179 @@
+#include "kernels/qmat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/buffer_pool.h"
+#include "trace/trace.h"
+
+namespace pf::kernels {
+
+int64_t QuantizedMat::bytes() const {
+  int64_t b = static_cast<int64_t>(q.size()) * sizeof(int8_t);
+  b += static_cast<int64_t>(b16.size()) * sizeof(uint16_t);
+  b += static_cast<int64_t>(scales.size()) * sizeof(float);
+  return b;
+}
+
+QuantizedMat quantize_rows(const float* w, int64_t rows, int64_t cols,
+                           QMode mode) {
+  if (rows < 1 || cols < 1)
+    throw std::runtime_error("quantize_rows: empty matrix");
+  QuantizedMat m;
+  m.mode = mode;
+  m.rows = rows;
+  m.cols = cols;
+  if (mode == QMode::kBf16) {
+    m.b16.resize(static_cast<size_t>(rows * cols));
+    for (int64_t i = 0; i < rows * cols; ++i)
+      m.b16[static_cast<size_t>(i)] = bf16_from_float(w[i]);
+    return m;
+  }
+  m.q.resize(static_cast<size_t>(rows * cols));
+  m.scales.resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float amax = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) amax = std::max(amax, std::fabs(row[c]));
+    const float scale = amax / 127.0f;
+    m.scales[static_cast<size_t>(r)] = scale;
+    int8_t* code = m.q.data() + r * cols;
+    if (scale == 0.0f) {
+      std::memset(code, 0, static_cast<size_t>(cols));
+      continue;
+    }
+    const float inv = 1.0f / scale;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float v = std::nearbyintf(row[c] * inv);
+      code[c] = static_cast<int8_t>(std::clamp(v, -127.0f, 127.0f));
+    }
+  }
+  return m;
+}
+
+QuantizedMat quantize_tensor(const Tensor& t, QMode mode) {
+  if (t.dim() < 1 || t.numel() < 1)
+    throw std::runtime_error("quantize_tensor: empty tensor");
+  const int64_t rows = t.size(0);
+  return quantize_rows(t.data(), rows, t.numel() / rows, mode);
+}
+
+float dequant_at(const QuantizedMat& m, int64_t r, int64_t c) {
+  const size_t idx = static_cast<size_t>(r * m.cols + c);
+  if (m.mode == QMode::kBf16) return bf16_to_float(m.b16[idx]);
+  return m.scales[static_cast<size_t>(r)] * static_cast<float>(m.q[idx]);
+}
+
+Tensor dequantize(const QuantizedMat& m) {
+  Tensor out = Tensor::uninit(Shape{m.rows, m.cols});
+  float* d = out.data();
+  for (int64_t r = 0; r < m.rows; ++r)
+    for (int64_t c = 0; c < m.cols; ++c) d[r * m.cols + c] = dequant_at(m, r, c);
+  return out;
+}
+
+namespace {
+
+void check_view(const QuantizedMat& m, const char* who) {
+  const bool i8 = m.mode == QMode::kInt8;
+  if ((i8 && (m.q.empty() || m.scales.empty())) || (!i8 && m.b16.empty()))
+    throw std::runtime_error(std::string(who) + ": malformed QuantizedMat");
+}
+
+}  // namespace
+
+Tensor qmatmul_nt(const Tensor& x, const QuantizedMat& w) {
+  if (x.dim() != 2) throw std::runtime_error("qmatmul_nt: 2-D x required");
+  if (x.size(1) != w.cols)
+    throw std::runtime_error("qmatmul_nt: x/w inner-dim mismatch");
+  check_view(w, "qmatmul_nt");
+  const int64_t m = x.size(0), k = x.size(1), n = w.rows;
+  PF_TRACE_SCOPE_C("qmatmul_nt", m * k * n);
+  Tensor y(Shape{m, n});  // zero-filled: gemm_nt_q contract
+  active().gemm_nt_q(x.data(), w.view(), y.data(), m, k, n);
+  return y;
+}
+
+Tensor qlowrank_matmul(const Tensor& x, const QuantizedMat& vt,
+                       const QuantizedMat& u) {
+  if (x.dim() != 2) throw std::runtime_error("qlowrank_matmul: 2-D x");
+  if (x.size(1) != vt.cols)
+    throw std::runtime_error("qlowrank_matmul: x/v mismatch");
+  if (u.cols != vt.rows)
+    throw std::runtime_error("qlowrank_matmul: v/u rank mismatch");
+  check_view(vt, "qlowrank_matmul");
+  check_view(u, "qlowrank_matmul");
+  const int64_t m = x.size(0), in = x.size(1), r = vt.rows, out = u.rows;
+  PF_TRACE_SCOPE_C("qlowrank", m * r * (in + out));
+  const Backend& be = active();
+  Tensor y(Shape{m, out});
+  int64_t cap = 0;
+  float* t = runtime::BufferPool::instance().acquire(m * r, &cap);
+  std::memset(t, 0, static_cast<size_t>(m * r) * sizeof(float));
+  be.gemm_nt_q(x.data(), vt.view(), t, m, in, r);
+  be.gemm_nt_q(t, u.view(), y.data(), m, r, out);
+  runtime::BufferPool::instance().release(t, cap);
+  return y;
+}
+
+Tensor qconv2d(const Tensor& x, const QuantizedMat& w, int64_t c_out,
+               int64_t kernel, int64_t stride, int64_t pad) {
+  if (x.dim() != 4) throw std::runtime_error("qconv2d: 4-D input required");
+  const int64_t n = x.size(0), c_in = x.size(1), h = x.size(2), wd = x.size(3);
+  const ConvGeom g{c_in, h, wd, kernel, stride, pad};
+  if (w.rows != c_out || w.cols != g.patch())
+    throw std::runtime_error("qconv2d: weight shape mismatch");
+  check_view(w, "qconv2d");
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow, patch = g.patch();
+  PF_TRACE_SCOPE_C("qconv", n * c_out * patch * spatial);
+  const Backend& be = active();
+  const QView wv = w.view();
+  Tensor out(Shape{n, c_out, oh, ow});  // zero-filled: gemm_qa_nn does +=
+  Tensor col = Tensor::uninit(Shape{patch, spatial});
+  float* colp = col.data();
+  float* outp = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    be.im2col(x.data() + i * c_in * h * wd, g, colp);
+    be.gemm_qa_nn(wv, colp, outp + i * c_out * spatial, c_out, patch, spatial);
+  }
+  return out;
+}
+
+Tensor qlowrank_conv2d(const Tensor& x, const QuantizedMat& u,
+                       const QuantizedMat& v, int64_t kernel, int64_t stride,
+                       int64_t pad) {
+  if (x.dim() != 4)
+    throw std::runtime_error("qlowrank_conv2d: 4-D input required");
+  const int64_t n = x.size(0), c_in = x.size(1), h = x.size(2), wd = x.size(3);
+  const ConvGeom g{c_in, h, wd, kernel, stride, pad};
+  const int64_t r = u.rows, c_out = v.rows;
+  if (u.cols != g.patch())
+    throw std::runtime_error("qlowrank_conv2d: u shape mismatch");
+  if (v.cols != r) throw std::runtime_error("qlowrank_conv2d: v/u mismatch");
+  check_view(u, "qlowrank_conv2d");
+  check_view(v, "qlowrank_conv2d");
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t spatial = oh * ow, patch = g.patch();
+  PF_TRACE_SCOPE_C("qlowrank_conv", n * spatial * r * (patch + c_out));
+  const Backend& be = active();
+  const QView uv = u.view();
+  const QView vv = v.view();
+  Tensor out(Shape{n, c_out, oh, ow});
+  Tensor col = Tensor::uninit(Shape{patch, spatial});
+  Tensor mid(Shape{r, spatial});
+  float* colp = col.data();
+  float* midp = mid.data();
+  float* outp = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    be.im2col(x.data() + i * c_in * h * wd, g, colp);
+    std::fill(midp, midp + r * spatial, 0.0f);
+    be.gemm_qa_nn(uv, colp, midp, r, patch, spatial);
+    be.gemm_qa_nn(vv, midp, outp + i * c_out * spatial, c_out, r, spatial);
+  }
+  return out;
+}
+
+}  // namespace pf::kernels

@@ -120,6 +120,57 @@ ServeReport ServeStats::report() const {
   return r;
 }
 
+FleetStats::FleetStats(int64_t reservoir_capacity)
+    : reservoir_capacity_(reservoir_capacity), total_(reservoir_capacity) {}
+
+int FleetStats::add_model(const std::string& name) {
+  names_.push_back(name);
+  per_model_.push_back(std::make_unique<ServeStats>(reservoir_capacity_));
+  return static_cast<int>(per_model_.size()) - 1;
+}
+
+void FleetStats::begin() {
+  for (auto& s : per_model_) s->begin();
+  total_.begin();
+}
+
+void FleetStats::record_submit(int model) {
+  per_model_[static_cast<size_t>(model)]->record_submit();
+  total_.record_submit();
+}
+
+void FleetStats::record_reject(int model) {
+  per_model_[static_cast<size_t>(model)]->record_reject();
+  total_.record_reject();
+}
+
+void FleetStats::record_batch(int model, int64_t size, int64_t depth_after) {
+  per_model_[static_cast<size_t>(model)]->record_batch(size, depth_after);
+  total_.record_batch(size, depth_after);
+}
+
+void FleetStats::record_done(int model, double latency_ms) {
+  per_model_[static_cast<size_t>(model)]->record_done(latency_ms);
+  total_.record_done(latency_ms);
+}
+
+FleetReport FleetStats::report() const {
+  FleetReport r;
+  r.names = names_;
+  r.models.reserve(per_model_.size());
+  for (const auto& s : per_model_) r.models.push_back(s->report());
+  r.total = total_.report();
+  return r;
+}
+
+std::string FleetReport::summary() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < models.size(); ++i)
+    os << names[i] << ": " << models[i].summary() << "\n";
+  os << "total: " << total.summary();
+  return os.str();
+}
+
 std::string ServeReport::summary() const {
   std::ostringstream os;
   os << "rps " << fmt(throughput_rps, 1) << " | p50 " << fmt(p50_ms, 2)

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -92,6 +93,47 @@ class ServeStats {
   std::vector<uint64_t> batch_hist_;
   Reservoir latency_;
   double t0_s_ = 0;  // steady-clock seconds at begin()
+};
+
+// Snapshot of one fleet run: the aggregate picture plus one ServeReport per
+// hosted model (SLO compliance is judged per model, not on the blend).
+struct FleetReport {
+  std::vector<std::string> names;
+  std::vector<ServeReport> models;
+  ServeReport total;
+
+  // Multi-line summary: one "name | rps ... | p99 ..." row per model plus
+  // the aggregate.
+  std::string summary() const;
+};
+
+// Per-model ServeStats plus an aggregate, behind the same record_* surface
+// the fleet workers call (every event lands in both the model's stats and
+// the total's, so aggregate quantiles come from one reservoir rather than
+// an impossible merge).
+class FleetStats {
+ public:
+  explicit FleetStats(int64_t reservoir_capacity = 4096);
+
+  // Registers a model stream; returns its index. Call before begin().
+  int add_model(const std::string& name);
+  void begin();
+
+  void record_submit(int model);
+  void record_reject(int model);
+  void record_batch(int model, int64_t size, int64_t depth_after);
+  void record_done(int model, double latency_ms);
+
+  int models() const { return static_cast<int>(per_model_.size()); }
+  FleetReport report() const;
+
+ private:
+  int64_t reservoir_capacity_;
+  std::vector<std::string> names_;
+  // ServeStats is self-locking, so FleetStats needs no mutex of its own
+  // (add_model is start-up only).
+  std::vector<std::unique_ptr<ServeStats>> per_model_;
+  ServeStats total_;
 };
 
 }  // namespace pf::metrics

@@ -1,10 +1,24 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/init.h"
 
 namespace pf::nn {
+
+namespace {
+
+// Quantized layers are a serving construct: their fp32 weights may already
+// be released (quant::commit), so a taped forward has nothing to train.
+void check_quantized_eval_only(const char* layer) {
+  if (ag::grad_enabled())
+    throw std::runtime_error(std::string(layer) +
+                             ": quantized weights are eval-only (tape-free "
+                             "forwards); dequantize before training");
+}
+
+}  // namespace
 
 Linear::Linear(int64_t in, int64_t out, Rng& rng, bool with_bias)
     : in_(in), out_(out) {
@@ -17,6 +31,12 @@ Linear::Linear(int64_t in, int64_t out, Rng& rng, bool with_bias)
 }
 
 ag::Var Linear::forward(const ag::Var& x) {
+  if (qweight) {
+    check_quantized_eval_only("Linear");
+    ag::Var y = ag::leaf(kernels::qmatmul_nt(x->value, *qweight));
+    if (bias) y = ag::add(y, bias);
+    return y;
+  }
   ag::Var y = ag::matmul_nt(x, weight);  // (N, in) x (out, in)^T
   if (bias) y = ag::add(y, bias);
   return y;
@@ -39,6 +59,12 @@ LowRankLinear::LowRankLinear(int64_t in, int64_t out, int64_t rank, Rng& rng,
 }
 
 ag::Var LowRankLinear::forward(const ag::Var& x) {
+  if (qu) {
+    check_quantized_eval_only("LowRankLinear");
+    ag::Var y = ag::leaf(kernels::qlowrank_matmul(x->value, *qvt, *qu));
+    if (bias) y = ag::add(y, bias);
+    return y;
+  }
   // Fused (x @ v) @ u^T: one kernel launch; when taped it materializes the
   // (N, r) intermediate for the backward pass, when not (eval / frozen
   // serve) the intermediate stays a per-row-block scratch buffer.
@@ -55,6 +81,11 @@ Conv2d::Conv2d(int64_t c_in, int64_t c_out, int64_t kernel, int64_t stride,
 }
 
 ag::Var Conv2d::forward(const ag::Var& x) {
+  if (qweight) {
+    check_quantized_eval_only("Conv2d");
+    return ag::leaf(
+        kernels::qconv2d(x->value, *qweight, c_out_, kernel_, stride_, pad_));
+  }
   return ag::conv2d(x, weight, stride_, pad_);
 }
 
@@ -74,6 +105,11 @@ LowRankConv2d::LowRankConv2d(int64_t c_in, int64_t c_out, int64_t kernel,
 }
 
 ag::Var LowRankConv2d::forward(const ag::Var& x) {
+  if (qu) {
+    check_quantized_eval_only("LowRankConv2d");
+    return ag::leaf(
+        kernels::qlowrank_conv2d(x->value, *qu, *qv, kernel_, stride_, pad_));
+  }
   // Tape-free forwards (eval, frozen serve) fuse the two convolutions per
   // sample, skipping the full (N, r, oh, ow) intermediate and the 1x1
   // im2col copy over it. Training keeps the two-node composition so the

@@ -12,9 +12,17 @@
 #include <string>
 #include <vector>
 
+#include "kernels/qmat.h"
 #include "nn/module.h"
 
 namespace pf::nn {
+
+// Quantized-weight slot (DESIGN.md §14). When quant::quantize_module sets a
+// layer's slot(s), tape-free forwards (eval / frozen serve) run the fused
+// dequant-GEMM kernels instead of the fp32 params; after quant::commit the
+// fp32 weight tensors are released entirely. Quantized layers are
+// serving-only: forward throws if called with gradients enabled.
+using QWeight = std::shared_ptr<const kernels::QuantizedMat>;
 
 class Linear : public UnaryModule {
  public:
@@ -27,6 +35,7 @@ class Linear : public UnaryModule {
   int64_t out_features() const { return out_; }
   ag::Var weight;  // (out, in)
   ag::Var bias;    // (out) or null
+  QWeight qweight; // (out, in), per-out scales
 
  private:
   int64_t in_, out_;
@@ -45,6 +54,8 @@ class LowRankLinear : public UnaryModule {
   ag::Var u;     // (out, r)
   ag::Var v;     // (in, r)
   ag::Var bias;  // (out) or null
+  QWeight qu;    // (out, r), per-out scales
+  QWeight qvt;   // V^T stored (r, in), per-r scales
 
  private:
   int64_t in_, out_, rank_;
@@ -63,6 +74,7 @@ class Conv2d : public UnaryModule {
   int64_t stride() const { return stride_; }
   int64_t pad() const { return pad_; }
   ag::Var weight;  // (c_out, c_in, k, k), bias-free (BN follows every conv)
+  QWeight qweight; // unrolled (c_out, c_in*k*k), per-c_out scales
 
  private:
   int64_t c_in_, c_out_, kernel_, stride_, pad_;
@@ -83,6 +95,8 @@ class LowRankConv2d : public UnaryModule {
   int64_t rank() const { return rank_; }
   ag::Var u;  // (r, c_in, k, k): thin convolution
   ag::Var v;  // (c_out, r, 1, 1): channel up-projection
+  QWeight qu; // unrolled (r, c_in*k*k), per-r scales
+  QWeight qv; // (c_out, r), per-c_out scales
 
  private:
   int64_t c_in_, c_out_, kernel_, stride_, pad_, rank_;

@@ -1,12 +1,20 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/init.h"
 
 namespace pf::nn {
 
 namespace {
+
+void check_lstm_quantized_eval_only(const char* layer) {
+  if (ag::grad_enabled())
+    throw std::runtime_error(std::string(layer) +
+                             ": quantized weights are eval-only (tape-free "
+                             "forwards); dequantize before training");
+}
 
 // Shared cell update: takes pre-activation gates (B, 4h) and previous cell
 // state, returns (h_t, c_t).
@@ -43,10 +51,18 @@ ag::Var LSTMLayer::forward(const ag::Var& x, LstmState* state) {
   ag::Var c = (state && state->c) ? state->c : zeros_state(b, h_);
   std::vector<ag::Var> outputs;
   outputs.reserve(static_cast<size_t>(t_len));
+  if (q_wih) check_lstm_quantized_eval_only("LSTMLayer");
   for (int64_t t = 0; t < t_len; ++t) {
     ag::Var xt = ag::reshape(ag::slice(x, 0, t, 1), Shape{b, d_});
-    ag::Var gates = ag::add(
-        ag::add(ag::matmul_nt(xt, w_ih), ag::matmul_nt(h, w_hh)), bias);
+    ag::Var gates;
+    if (q_wih) {
+      Tensor g = kernels::qmatmul_nt(xt->value, *q_wih);
+      g.add_(kernels::qmatmul_nt(h->value, *q_whh));
+      gates = ag::add(ag::leaf(std::move(g)), bias);
+    } else {
+      gates = ag::add(
+          ag::add(ag::matmul_nt(xt, w_ih), ag::matmul_nt(h, w_hh)), bias);
+    }
     auto [ht, ct] = lstm_cell(gates, c, h_);
     h = ht;
     c = ct;
@@ -88,11 +104,20 @@ ag::Var LowRankLSTMLayer::forward(const ag::Var& x, LstmState* state) {
   ag::Var c = (state && state->c) ? state->c : zeros_state(b, h_);
   std::vector<ag::Var> outputs;
   outputs.reserve(static_cast<size_t>(t_len));
+  if (q_u_ih[0]) check_lstm_quantized_eval_only("LowRankLSTMLayer");
   for (int64_t t = 0; t < t_len; ++t) {
     ag::Var xt = ag::reshape(ag::slice(x, 0, t, 1), Shape{b, d_});
     std::vector<ag::Var> gate_parts;
     gate_parts.reserve(4);
     for (size_t gate = 0; gate < 4; ++gate) {
+      if (q_u_ih[0]) {
+        Tensor z = kernels::qlowrank_matmul(xt->value, *q_vt_ih[gate],
+                                            *q_u_ih[gate]);
+        z.add_(kernels::qlowrank_matmul(h->value, *q_vt_hh[gate],
+                                        *q_u_hh[gate]));
+        gate_parts.push_back(ag::leaf(std::move(z)));
+        continue;
+      }
       ag::Var zi = ag::lowrank_linear(xt, v_ih[gate], u_ih[gate]);
       ag::Var zh = ag::lowrank_linear(h, v_hh[gate], u_hh[gate]);
       gate_parts.push_back(ag::add(zi, zh));

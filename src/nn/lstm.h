@@ -42,6 +42,9 @@ class LSTMLayer : public LstmBase {
   ag::Var w_ih;  // (4h, d)
   ag::Var w_hh;  // (4h, h)
   ag::Var bias;  // (4h)
+  // Quantized slots (set together or not at all; see nn/layers.h QWeight).
+  QWeight q_wih;  // (4h, d), per-row scales
+  QWeight q_whh;  // (4h, h), per-row scales
 
  private:
   int64_t d_, h_;
@@ -60,6 +63,9 @@ class LowRankLSTMLayer : public LstmBase {
   std::array<ag::Var, 4> u_ih, v_ih;  // (h, r), (d, r)
   std::array<ag::Var, 4> u_hh, v_hh;  // (h, r), (h, r)
   ag::Var bias;                       // (4h)
+  // Quantized slots, all 16 set together or none (see nn/layers.h QWeight).
+  std::array<QWeight, 4> q_u_ih, q_vt_ih;  // (h, r), V^T (r, d)
+  std::array<QWeight, 4> q_u_hh, q_vt_hh;  // (h, r), V^T (r, h)
 
  private:
   int64_t d_, h_, r_;

@@ -1,0 +1,46 @@
+// Serving-density planning: how many resident engines of a model fit a
+// HardwareProfile's serving memory under each artifact format (fp32 /
+// int8 / bf16), and what a delta-compressed variant fleet costs on top of
+// one shared base. The byte counts are INTROSPECTED -- the model is built
+// and quantized through src/quant, not estimated from parameter counts --
+// so the planner's models-per-GB numbers track the real freeze path.
+#pragma once
+
+#include <string>
+
+#include "dist/hardware.h"
+#include "plan/model_costs.h"
+
+namespace pf::plan {
+
+struct ServeDensity {
+  std::string model;
+  double rank_ratio = 1.0;
+  int hybrid_k = 0;
+
+  // Resident bytes of ONE engine (weights + buffers) per format. Quantized
+  // formats keep biases/norms/small tensors fp32, exactly like
+  // quant::commit.
+  int64_t fp32_bytes = 0;
+  int64_t int8_bytes = 0;
+  int64_t bf16_bytes = 0;
+
+  double fp32_per_gb = 0;  // models per GB of serving memory
+  double int8_per_gb = 0;
+  double bf16_per_gb = 0;
+
+  int64_t fp32_models = 0;  // engines fitting hw.serve_mem_bytes
+  int64_t int8_models = 0;
+  int64_t bf16_models = 0;
+
+  // One-line "fp32 42.9 MB (23.3/GB, 186 fit) | int8 ..." rendering.
+  std::string summary() const;
+};
+
+// Builds the model (vision_factory), quantizes it at each mode, and divides
+// the resulting serving footprints into hw.serve_mem_bytes.
+ServeDensity serve_density(const std::string& model, double width,
+                           int64_t classes, double rank_ratio, int hybrid_k,
+                           const dist::HardwareProfile& hw);
+
+}  // namespace pf::plan

@@ -1,0 +1,94 @@
+#include "quant/quantize.h"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pf::quant {
+
+int64_t quantize_module(nn::Module& m, const QuantSpec& spec) {
+  std::vector<detail::Entry> entries = detail::collect_entries(m);
+  // min_numel gates whole LAYERS, not tensors: the forward fast paths test a
+  // single slot per layer, so a low-rank layer with a big U and a tiny V
+  // must quantize both factors or neither.
+  std::unordered_map<const void*, int64_t> group_numel;
+  for (const detail::Entry& e : entries)
+    if (e.slot) group_numel[e.owner] += e.tensor->numel();
+  int64_t count = 0;
+  for (detail::Entry& e : entries) {
+    if (!e.slot) continue;
+    // A set slot over an empty master = commit() (or load_quantized) already
+    // released the fp32 weights; the group-numel gate must not mask that.
+    if (*e.slot && e.tensor->empty())
+      throw std::runtime_error(
+          "quantize_module: fp32 master already released (commit ran); "
+          "cannot re-quantize");
+    if (group_numel[e.owner] < spec.min_numel) continue;
+    if (e.tensor->empty())
+      throw std::runtime_error(
+          "quantize_module: fp32 master already released (commit ran); "
+          "cannot re-quantize");
+    Tensor w2 = detail::storage_view(e);
+    *e.slot = std::make_shared<const kernels::QuantizedMat>(
+        kernels::quantize_tensor(w2, spec.mode));
+    ++count;
+  }
+  return count;
+}
+
+void commit(nn::Module& m) {
+  for (detail::Entry& e : detail::collect_entries(m)) {
+    if (!e.slot || !*e.slot) continue;
+    e.param->var->value = Tensor();
+    e.param->var->requires_grad = false;
+  }
+}
+
+void rollback(nn::Module& m) {
+  for (detail::Entry& e : detail::collect_entries(m)) {
+    if (!e.slot || !*e.slot) continue;
+    if (e.tensor->empty())
+      throw std::runtime_error(
+          "rollback: fp32 master already released (commit ran)");
+    e.slot->reset();
+  }
+}
+
+int64_t quantized_bytes(nn::Module& m) {
+  int64_t bytes = 0;
+  for (const detail::Entry& e : detail::collect_entries(m))
+    if (e.slot && *e.slot) bytes += (*e.slot)->bytes();
+  return bytes;
+}
+
+int64_t fp32_bytes(nn::Module& m) {
+  int64_t bytes = 0;
+  for (const detail::Entry& e : detail::collect_entries(m))
+    bytes += e.tensor->numel() * static_cast<int64_t>(sizeof(float));
+  return bytes;
+}
+
+int64_t serving_bytes(nn::Module& m) {
+  return quantized_bytes(m) + fp32_bytes(m);
+}
+
+GateResult quantize_if(nn::Module& m, const QuantSpec& spec, double eps,
+                       const std::function<double(nn::Module&)>& eval) {
+  GateResult r;
+  r.bytes_fp32 = serving_bytes(m);
+  r.fp32_metric = eval(m);
+  r.quantized = quantize_module(m, spec);
+  r.quant_metric = eval(m);
+  // Footprint if committed: total now, minus the fp32 masters commit() would
+  // release (every entry whose slot is set).
+  int64_t masters = 0;
+  for (const detail::Entry& e : detail::collect_entries(m))
+    if (e.slot && *e.slot)
+      masters += e.tensor->numel() * static_cast<int64_t>(sizeof(float));
+  r.bytes_quant = serving_bytes(m) - masters;
+  r.accepted = (r.fp32_metric - r.quant_metric) <= eps;
+  if (!r.accepted) rollback(m);
+  return r;
+}
+
+}  // namespace pf::quant

@@ -1,0 +1,88 @@
+#include "quant/registry.h"
+
+#include <unordered_map>
+
+namespace pf::quant::detail {
+
+namespace {
+
+struct SlotInfo {
+  nn::QWeight* slot;
+  int64_t qrows, qcols;
+  bool transpose;
+};
+
+// Maps each quantizable param (by autograd node identity) of one layer to
+// its slot and quantized storage shape.
+void layer_slots(nn::Module& m,
+                 std::unordered_map<const ag::Node*, SlotInfo>& out) {
+  if (auto* l = dynamic_cast<nn::Linear*>(&m)) {
+    out[l->weight.get()] = {&l->qweight, l->out_features(), l->in_features(),
+                            false};
+  } else if (auto* l = dynamic_cast<nn::LowRankLinear*>(&m)) {
+    out[l->u.get()] = {&l->qu, l->out_features(), l->rank(), false};
+    out[l->v.get()] = {&l->qvt, l->rank(), l->in_features(), true};
+  } else if (auto* l = dynamic_cast<nn::Conv2d*>(&m)) {
+    out[l->weight.get()] = {&l->qweight, l->c_out(),
+                            l->c_in() * l->kernel() * l->kernel(), false};
+  } else if (auto* l = dynamic_cast<nn::LowRankConv2d*>(&m)) {
+    out[l->u.get()] = {&l->qu, l->rank(),
+                       l->c_in() * l->kernel() * l->kernel(), false};
+    out[l->v.get()] = {&l->qv, l->c_out(), l->rank(), false};
+  } else if (auto* l = dynamic_cast<nn::LSTMLayer*>(&m)) {
+    out[l->w_ih.get()] = {&l->q_wih, 4 * l->hidden(), l->input_dim(), false};
+    out[l->w_hh.get()] = {&l->q_whh, 4 * l->hidden(), l->hidden(), false};
+  } else if (auto* l = dynamic_cast<nn::LowRankLSTMLayer*>(&m)) {
+    for (size_t g = 0; g < 4; ++g) {
+      out[l->u_ih[g].get()] = {&l->q_u_ih[g], l->hidden(), l->rank(), false};
+      out[l->v_ih[g].get()] = {&l->q_vt_ih[g], l->rank(), l->input_dim(),
+                               true};
+      out[l->u_hh[g].get()] = {&l->q_u_hh[g], l->hidden(), l->rank(), false};
+      out[l->v_hh[g].get()] = {&l->q_vt_hh[g], l->rank(), l->hidden(), true};
+    }
+  }
+}
+
+void collect(nn::Module& m, std::vector<Entry>& out) {
+  std::unordered_map<const ag::Node*, SlotInfo> slots;
+  layer_slots(m, slots);
+  for (nn::Param& p : m.local_params()) {
+    Entry e;
+    e.tensor = &p.var->value;
+    e.param = &p;
+    auto it = slots.find(p.var.get());
+    if (it != slots.end()) {
+      e.slot = it->second.slot;
+      e.owner = &m;
+      e.qrows = it->second.qrows;
+      e.qcols = it->second.qcols;
+      e.transpose = it->second.transpose;
+    }
+    out.push_back(e);
+  }
+  for (nn::Buffer& b : m.local_buffers()) {
+    Entry e;
+    e.tensor = &b.value;
+    out.push_back(e);
+  }
+  for (nn::Module* c : m.children()) collect(*c, out);
+}
+
+}  // namespace
+
+std::vector<Entry> collect_entries(nn::Module& m) {
+  std::vector<Entry> out;
+  collect(m, out);
+  return out;
+}
+
+Tensor storage_view(const Entry& e) {
+  // V factors live as (in, r) fp32 but serve as V^T (r, in) so the per-row
+  // scale sits on the non-contracted GEMM axis; everything else is a plain
+  // 2-D reshape (convs unroll to (c_out, c_in*k*k) etc.).
+  Tensor w2 = e.tensor->reshape(
+      e.transpose ? Shape{e.qcols, e.qrows} : Shape{e.qrows, e.qcols});
+  return e.transpose ? w2.t() : w2;
+}
+
+}  // namespace pf::quant::detail

@@ -1,0 +1,148 @@
+// Multi-model fleet serving: N engines x M workers on one runtime pool.
+//
+// A fleet hosts many serving artifacts -- fp32, quantized, delta-variant --
+// behind one worker pool. Each model gets its own bounded request queue
+// (per-model admission control, so one tenant's burst sheds that tenant's
+// load instead of everyone's) and an SLO class {deadline_ms, weight}.
+//
+// Scheduling is weighted earliest-deadline-first over FLUSHABLE queues:
+//  * a queue becomes flushable under the usual dynamic-batching rules
+//    (max_batch queued, or its oldest request has waited the batcher
+//    deadline);
+//  * among flushable queues a worker picks the smallest *virtual* deadline
+//      t_oldest + slo.deadline_ms / slo.weight
+//    so a 2x-weight model tolerates half the slack before it preempts --
+//    weighted admission across queues without starving anyone (every queue's
+//    virtual deadline eventually becomes the minimum as it ages);
+//  * ties break on the lowest model index, which (with the deterministic
+//    arrival timeline below) keeps scheduling decisions reproducible.
+//
+// Engines materialize LAZILY: a model registers a factory, not an engine,
+// and the factory runs at most once, at first dispatch (or an explicit
+// materialize() call). N delta variants of one base therefore cost one base
+// artifact plus N small deltas on disk, and only the variants that actually
+// receive traffic ever occupy serving memory.
+//
+// The worker model is Server's: one dispatcher thread issues a single
+// runtime::parallel_for over worker ids, so fleet workers are the pool's
+// threads and kernels inside worker loops take the deterministic
+// inline-serial path. Per-request outputs are batch-composition-invariant
+// (row-partitioned GEMMs), so serve outputs are bitwise identical across
+// PF_THREADS within a backend.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/serve_stats.h"
+#include "serve/frozen.h"
+#include "serve/server.h"
+
+namespace pf::serve {
+
+struct SloClass {
+  double deadline_ms = 50.0;  // latency objective (virtual-deadline slack)
+  double weight = 1.0;        // admission weight; higher preempts sooner
+};
+
+using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+struct FleetModelConfig {
+  std::string name;
+  EngineFactory factory;  // runs at most once (lazy materialization)
+  BatcherConfig batcher;  // per-model flush rules + admission bound
+  SloClass slo;
+};
+
+struct FleetConfig {
+  int workers = 2;  // desired; clamped to runtime::threads() at start()
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& cfg,
+                 metrics::FleetStats* stats = nullptr);
+  ~Fleet();
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // Registers a model; returns its index. Before start() only.
+  int add_model(FleetModelConfig m);
+
+  void start();
+  void stop();  // idempotent: drain all queues, join
+
+  // Enqueue a request for `model`. False = admission reject (that model's
+  // queue full, or fleet stopped); rejected promises are never fulfilled.
+  bool submit(int model, const RequestPtr& r);
+
+  // Runs the factory now (idempotent, thread-safe). Useful to prime an
+  // engine before traffic, and what the tests use to observe laziness.
+  Engine& materialize(int model);
+  bool materialized(int model) const;
+
+  int models() const { return static_cast<int>(fleet_.size()); }
+  int workers() const { return workers_running_; }
+  int64_t queue_depth(int model) const;
+  const std::string& model_name(int model) const;
+
+ private:
+  struct Model {
+    FleetModelConfig cfg;
+    std::deque<RequestPtr> q;
+    std::once_flag once;
+    std::unique_ptr<Engine> engine;
+    std::atomic<bool> ready{false};
+  };
+
+  void worker_loop();
+  // Pops the next batch under the weighted-EDF policy; empty batch = exit.
+  std::vector<RequestPtr> next_batch(int* model_out);
+
+  FleetConfig cfg_;
+  metrics::FleetStats* stats_;
+  std::vector<std::unique_ptr<Model>> fleet_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+
+  std::thread dispatcher_;
+  std::atomic<bool> started_{false};
+  int workers_running_ = 0;
+};
+
+// ---------------- Trace-driven open-loop load generator ----------------
+
+// One phase of a multi-tenant traffic trace: per-model Poisson arrival
+// rates held for `duration_s`. Chaining phases models diurnal shape
+// (ramp / peak / trough) and per-tenant bursts (one model's rate spiking
+// while the others idle).
+struct TracePhase {
+  double duration_s = 0.5;
+  std::vector<double> rate_rps;  // one per fleet model; 0 = idle this phase
+};
+
+struct TraceConfig {
+  std::vector<TracePhase> phases;
+  uint64_t seed = 0xF1EE7ull;  // arrival-timeline RNG seed
+};
+
+// Pre-generates the merged deterministic arrival timeline (per-model Poisson
+// gaps per phase, merged and stably ordered), then replays it open-loop:
+// arrivals fire at their scheduled time whether or not the fleet keeps up.
+// make[i] builds requests for model i. Waits for every accepted request;
+// returns per-model completed counts.
+std::vector<int64_t> run_trace_open_loop(
+    Fleet& fleet, const std::vector<RequestFactory>& make,
+    const TraceConfig& cfg);
+
+}  // namespace pf::serve

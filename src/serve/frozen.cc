@@ -21,6 +21,9 @@ Tensor freeze_and_pack(nn::Module& m) {
   for (nn::Param* p : params) {
     Tensor& v = p->var->value;
     const int64_t n = v.numel();
+    // quant::commit releases fp32 weights entirely (the layer serves from
+    // its quantized slot); an empty param has nothing to pack.
+    if (n == 0) continue;
     std::copy(v.data(), v.data() + n, ap + off);
     // Rebind the parameter as a zero-copy window into the arena. Every
     // module member ag::Var is a handle to the same node, so the rebound

@@ -13,6 +13,7 @@
 #include "plan/frontier.h"
 #include "plan/model_costs.h"
 #include "plan/planner.h"
+#include "plan/serve_density.h"
 
 namespace {
 
@@ -335,6 +336,44 @@ TEST(PlanPlanner, ComputeSlotsOversubscriptionScalesCompute) {
       costs, plan::method_costs("allreduce"), 4, 1 << 20, 32, 1024, hw,
       /*overlap=*/false);
   EXPECT_NEAR(shared, 4.0 * dedicated, 1e-9 * shared);
+}
+
+TEST(PlanServeDensity, QuantizedFormatsPackMoreModelsPerGB) {
+  const dist::HardwareProfile hw = dist::HardwareProfile::cloud_10g();
+  const plan::ServeDensity d =
+      plan::serve_density("resnet18", 0.25, 10, 0.25, 2, hw);
+  ASSERT_GT(d.fp32_bytes, 0);
+  // Quantized formats strictly shrink the resident engine; int8 must clear
+  // the paper-table 3x density target (weights are ~4x smaller, biases and
+  // BN stats stay fp32).
+  EXPECT_LT(d.int8_bytes, d.fp32_bytes);
+  EXPECT_LT(d.bf16_bytes, d.fp32_bytes);
+  EXPECT_LT(d.int8_bytes, d.bf16_bytes);
+  EXPECT_GE(d.int8_per_gb / d.fp32_per_gb, 3.0);
+  // models-that-fit is the serving-memory term divided by the footprint.
+  EXPECT_EQ(d.fp32_models, hw.serve_mem_bytes / d.fp32_bytes);
+  EXPECT_EQ(d.int8_models, hw.serve_mem_bytes / d.int8_bytes);
+  EXPECT_GT(d.int8_models, d.fp32_models);
+}
+
+TEST(PlanServeDensity, DeterministicAndProfileScaled) {
+  const dist::HardwareProfile big = dist::HardwareProfile::rdma_100g();
+  const dist::HardwareProfile small = dist::HardwareProfile::commodity_1g();
+  const plan::ServeDensity a =
+      plan::serve_density("resnet18", 0.25, 10, 0.25, 2, big);
+  const plan::ServeDensity b =
+      plan::serve_density("resnet18", 0.25, 10, 0.25, 2, big);
+  // Same request twice -> identical introspected footprints (the builder
+  // seeds its own Rng; no global state leaks in).
+  EXPECT_EQ(a.fp32_bytes, b.fp32_bytes);
+  EXPECT_EQ(a.int8_bytes, b.int8_bytes);
+  EXPECT_EQ(a.bf16_bytes, b.bf16_bytes);
+  // Density per GB is profile-independent; the fleet-size term scales with
+  // the profile's serving memory.
+  const plan::ServeDensity c =
+      plan::serve_density("resnet18", 0.25, 10, 0.25, 2, small);
+  EXPECT_EQ(a.int8_bytes, c.int8_bytes);
+  EXPECT_GT(a.int8_models, c.int8_models);
 }
 
 }  // namespace
