@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
+#include <stdexcept>
+#include <utility>
 
 #include "linalg/svd.h"
 #include "metrics/metrics.h"
@@ -19,7 +22,30 @@ Tensor mean_of(const std::vector<Tensor>& grads) {
   return out;
 }
 
+Tensor deep_copy(const Tensor& t) {
+  Tensor c = Tensor::uninit(t.shape());
+  std::memcpy(c.data(), std::as_const(t).data(),
+              static_cast<size_t>(t.numel()) * sizeof(float));
+  return c;
+}
+
+std::vector<Tensor> deep_copy_all(const std::vector<Tensor>& ts) {
+  std::vector<Tensor> out;
+  out.reserve(ts.size());
+  for (const Tensor& t : ts) out.push_back(deep_copy(t));
+  return out;
+}
+
 }  // namespace
+
+void Reducer::set_state(const ReducerState& st) {
+  if (!st.empty())
+    throw std::runtime_error(
+        "reducer '" + name() +
+        "' cannot restore snapshot state (it keeps no state, or its state "
+        "is not snapshot-capable) -- the snapshot was written by a "
+        "different reducer configuration");
+}
 
 Tensor AllreduceReducer::reduce(const std::vector<Tensor>& grads,
                                 const std::vector<Shape>& /*shapes*/,
@@ -151,42 +177,111 @@ Tensor SignumReducer::reduce(const std::vector<Tensor>& grads,
   const int64_t n = grads[0].numel();
   if (momentum_.empty())
     momentum_.assign(workers, Tensor::zeros(Shape{n}));
+  if (error_feedback_ && error_.empty())
+    error_.assign(workers, Tensor::zeros(Shape{n}));
 
   metrics::Timer te;
-  // Per worker: momentum update + sign encoding into a packed bitset.
+  // Per worker: momentum update + sign encoding into a packed bitset. With
+  // error feedback the encoded value is c_w = momentum + residual, the
+  // payload carries one per-worker scale (mean |c_w|), and the residual
+  // keeps what the sign quantization lost.
   std::vector<std::vector<uint8_t>> payloads(workers);
+  std::vector<float> scales(workers, 1.0f);
   for (size_t w = 0; w < workers; ++w) {
     Tensor& m = momentum_[w];
     for (int64_t j = 0; j < n; ++j)
       m[j] = beta_ * m[j] + (1 - beta_) * grads[w][j];
+    Tensor c = m;  // COW: unshared below only when error feedback mutates
+    if (error_feedback_) {
+      c = deep_copy(m);
+      c.add_(error_[w]);
+      double abs_sum = 0;
+      for (int64_t j = 0; j < n; ++j)
+        abs_sum += std::fabs(static_cast<double>(c[j]));
+      scales[w] = static_cast<float>(abs_sum / static_cast<double>(n));
+    }
     auto& bits = payloads[w];
     bits.assign(static_cast<size_t>((n + 7) / 8), 0);
     for (int64_t j = 0; j < n; ++j)
-      if (m[j] >= 0)
+      if (c[j] >= 0)
         bits[static_cast<size_t>(j / 8)] |=
             static_cast<uint8_t>(1u << (j % 8));
+    if (error_feedback_) {
+      Tensor& e = error_[w];
+      for (int64_t j = 0; j < n; ++j)
+        e[j] = c[j] - (c[j] >= 0 ? scales[w] : -scales[w]);
+    }
   }
   const double encode_s = te.seconds();
 
   metrics::Timer td;
-  // Majority vote: every worker decodes all peers' sign bitsets.
   Tensor out(Shape{n});
-  for (int64_t j = 0; j < n; ++j) {
-    int vote = 0;
-    for (size_t w = 0; w < workers; ++w)
-      vote += (payloads[w][static_cast<size_t>(j / 8)] >> (j % 8)) & 1 ? 1 : -1;
-    out[j] = vote >= 0 ? 1.0f : -1.0f;
+  if (error_feedback_) {
+    // Scaled mean of signs: each peer's payload decodes to scale_w *
+    // sign(c_w); the aggregate keeps first-order magnitude information.
+    const float inv = 1.0f / static_cast<float>(workers);
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (size_t w = 0; w < workers; ++w)
+        acc += (payloads[w][static_cast<size_t>(j / 8)] >> (j % 8)) & 1
+                   ? scales[w]
+                   : -scales[w];
+      out[j] = acc * inv;
+    }
+  } else {
+    // Majority vote: every worker decodes all peers' sign bitsets.
+    for (int64_t j = 0; j < n; ++j) {
+      int vote = 0;
+      for (size_t w = 0; w < workers; ++w)
+        vote +=
+            (payloads[w][static_cast<size_t>(j / 8)] >> (j % 8)) & 1 ? 1 : -1;
+      out[j] = vote >= 0 ? 1.0f : -1.0f;
+    }
   }
   const double decode_s = td.seconds();
 
   if (stats) {
-    stats->payload_bytes_per_worker = (n + 7) / 8;
+    stats->payload_bytes_per_worker =
+        (n + 7) / 8 + (error_feedback_ ? 4 : 0);  // + the scale float
     stats->collective = Collective::kAllgather;
     stats->n_messages = 1;
     stats->encode_seconds = encode_s;
     stats->decode_seconds = decode_s;  // one worker's majority-vote decode
   }
   return out;
+}
+
+ReducerState SignumReducer::state() const {
+  ReducerState st;
+  if (momentum_.empty()) return st;
+  st.scalars = {static_cast<int64_t>(momentum_.size()),
+                error_feedback_ ? 1 : 0};
+  st.tensors = deep_copy_all(momentum_);
+  for (const Tensor& e : deep_copy_all(error_))
+    st.tensors.push_back(e);
+  return st;
+}
+
+void SignumReducer::set_state(const ReducerState& st) {
+  if (st.empty()) {
+    momentum_.clear();
+    error_.clear();
+    return;
+  }
+  if (st.scalars.size() != 2 ||
+      (st.scalars[1] != 0) != error_feedback_ ||
+      st.tensors.size() !=
+          static_cast<size_t>(st.scalars[0]) * (error_feedback_ ? 2 : 1))
+    throw std::runtime_error(
+        "signum: snapshot state does not match this reducer's "
+        "configuration (worker count or error-feedback flag)");
+  const size_t workers = static_cast<size_t>(st.scalars[0]);
+  momentum_ = deep_copy_all(
+      {st.tensors.begin(), st.tensors.begin() + workers});
+  error_.clear();
+  if (error_feedback_)
+    error_ = deep_copy_all(
+        {st.tensors.begin() + workers, st.tensors.end()});
 }
 
 // ---------------- Top-k ----------------
@@ -198,7 +293,8 @@ Tensor TopKReducer::reduce(const std::vector<Tensor>& grads,
   const int64_t n = grads[0].numel();
   const int64_t k =
       std::max<int64_t>(1, static_cast<int64_t>(n * keep_ratio_));
-  if (error_.empty()) error_.assign(workers, Tensor::zeros(Shape{n}));
+  if (error_feedback_ && error_.empty())
+    error_.assign(workers, Tensor::zeros(Shape{n}));
 
   metrics::Timer te;
   struct Payload {
@@ -209,7 +305,7 @@ Tensor TopKReducer::reduce(const std::vector<Tensor>& grads,
   std::vector<int64_t> order(static_cast<size_t>(n));
   for (size_t w = 0; w < workers; ++w) {
     Tensor m = grads[w];
-    m.add_(error_[w]);
+    if (error_feedback_) m.add_(error_[w]);
     std::iota(order.begin(), order.end(), 0);
     std::nth_element(order.begin(), order.begin() + k, order.end(),
                      [&](int64_t a, int64_t b) {
@@ -218,12 +314,19 @@ Tensor TopKReducer::reduce(const std::vector<Tensor>& grads,
     Payload& p = payloads[w];
     p.idx.assign(order.begin(), order.begin() + k);
     p.val.resize(static_cast<size_t>(k));
-    // Error feedback: remember everything not sent.
-    error_[w] = m;
-    for (int64_t j = 0; j < k; ++j) {
-      const int64_t id = p.idx[static_cast<size_t>(j)];
-      p.val[static_cast<size_t>(j)] = m[id];
-      error_[w][id] = 0.0f;
+    if (error_feedback_) {
+      // Error feedback: remember everything not sent.
+      error_[w] = m;
+      for (int64_t j = 0; j < k; ++j) {
+        const int64_t id = p.idx[static_cast<size_t>(j)];
+        p.val[static_cast<size_t>(j)] = m[id];
+        error_[w][id] = 0.0f;
+      }
+    } else {
+      // Un-sent coordinates are simply dropped -- the behaviour the
+      // convergence regression test measures against.
+      for (int64_t j = 0; j < k; ++j)
+        p.val[static_cast<size_t>(j)] = m[p.idx[static_cast<size_t>(j)]];
     }
   }
   const double encode_s = te.seconds();
@@ -245,6 +348,27 @@ Tensor TopKReducer::reduce(const std::vector<Tensor>& grads,
     stats->decode_seconds = decode_s;
   }
   return out;
+}
+
+ReducerState TopKReducer::state() const {
+  ReducerState st;
+  if (error_.empty()) return st;
+  st.scalars = {static_cast<int64_t>(error_.size())};
+  st.tensors = deep_copy_all(error_);
+  return st;
+}
+
+void TopKReducer::set_state(const ReducerState& st) {
+  if (st.empty()) {
+    error_.clear();
+    return;
+  }
+  if (!error_feedback_ || st.scalars.size() != 1 ||
+      st.tensors.size() != static_cast<size_t>(st.scalars[0]))
+    throw std::runtime_error(
+        "topk: snapshot state does not match this reducer's configuration "
+        "(worker count or error-feedback flag)");
+  error_ = deep_copy_all(st.tensors);
 }
 
 // ---------------- Stochastic binary quantization ----------------

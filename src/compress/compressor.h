@@ -37,6 +37,16 @@ struct ReduceStats {
   double decode_seconds = 0;
 };
 
+// Snapshot of a stateful reducer (error-feedback residuals, sign momentum,
+// variance-gate moments). Captured into TrainState by core/checkpoint so a
+// resumed run replays bitwise -- dropping a residual buffer on resume would
+// silently re-lose the gradient mass error feedback exists to preserve.
+struct ReducerState {
+  std::vector<int64_t> scalars;
+  std::vector<Tensor> tensors;
+  bool empty() const { return scalars.empty() && tensors.empty(); }
+};
+
 class Reducer {
  public:
   virtual ~Reducer() = default;
@@ -47,6 +57,14 @@ class Reducer {
   virtual Tensor reduce(const std::vector<Tensor>& grads,
                         const std::vector<Shape>& shapes,
                         ReduceStats* stats) = 0;
+
+  // Deep-copied evolving state for snapshots; empty for stateless reducers
+  // (and for stateful ones before their lazily initialized first step).
+  virtual ReducerState state() const { return {}; }
+  // Restores a state() capture. The base implementation accepts only an
+  // empty state: handing a stateful snapshot to a reducer that cannot
+  // replay it must fail loudly, not resume with silently reset buffers.
+  virtual void set_state(const ReducerState& st);
 };
 
 // Uncompressed flat-buffer allreduce (the paper's optimized vanilla
@@ -80,30 +98,53 @@ class PowerSgdReducer : public Reducer {
 
 // SIGNUM (Bernstein et al.): sign of the per-worker momentum, majority vote.
 // Signs do not sum, so the encoding allgathers 1 bit/coordinate/worker.
+//
+// Plain SIGNUM drops all gradient *magnitude* on the floor each step. With
+// `error_feedback` set it becomes EF-signSGD (Karimireddy et al.): each
+// worker sends its sign bits plus one mean-|.| scale, keeps the residual
+// c_w - scale * sign(c_w) in a per-worker buffer, and replays it next step
+// -- the update is then a scaled mean of signs rather than a bare majority
+// vote. The flag defaults off so seed behaviour stays bitwise-identical.
 class SignumReducer : public Reducer {
  public:
-  explicit SignumReducer(float beta = 0.9f) : beta_(beta) {}
-  std::string name() const override { return "signum"; }
+  explicit SignumReducer(float beta = 0.9f, bool error_feedback = false)
+      : beta_(beta), error_feedback_(error_feedback) {}
+  std::string name() const override {
+    return error_feedback_ ? "signum-ef" : "signum";
+  }
   Tensor reduce(const std::vector<Tensor>& grads,
                 const std::vector<Shape>& shapes, ReduceStats* stats) override;
+  ReducerState state() const override;
+  void set_state(const ReducerState& st) override;
 
  private:
   float beta_;
+  bool error_feedback_;
   std::vector<Tensor> momentum_;  // per worker
+  std::vector<Tensor> error_;     // per worker (error_feedback_ only)
 };
 
-// Top-k sparsification of the flat gradient with error feedback; payload is
-// (index, value) pairs, allgathered.
+// Top-k sparsification of the flat gradient; payload is (index, value)
+// pairs, allgathered. `error_feedback` (default on, the seed behaviour)
+// accumulates the un-sent coordinates into a per-worker residual replayed
+// on later steps; turning it off drops that mass -- kept as a switch so the
+// convergence regression test can measure exactly what the residual buys.
 class TopKReducer : public Reducer {
  public:
-  explicit TopKReducer(double keep_ratio) : keep_ratio_(keep_ratio) {}
-  std::string name() const override { return "topk"; }
+  explicit TopKReducer(double keep_ratio, bool error_feedback = true)
+      : keep_ratio_(keep_ratio), error_feedback_(error_feedback) {}
+  std::string name() const override {
+    return error_feedback_ ? "topk" : "topk-noef";
+  }
   Tensor reduce(const std::vector<Tensor>& grads,
                 const std::vector<Shape>& shapes, ReduceStats* stats) override;
+  ReducerState state() const override;
+  void set_state(const ReducerState& st) override;
 
  private:
   double keep_ratio_;
-  std::vector<Tensor> error_;  // per worker
+  bool error_feedback_;
+  std::vector<Tensor> error_;  // per worker (error_feedback_ only)
 };
 
 // Stochastic binary quantization (Suresh et al., appendix F): each worker

@@ -1,0 +1,60 @@
+// Variance-gated gradient transmission (Tsuzuku et al., "Variance-based
+// Gradient Compression for Efficient Distributed Deep Learning").
+//
+// Pufferfish's rank decision is frozen at the warm-up -> SVD boundary, but
+// during warm-up every step still ships the full dense gradient. This
+// reducer trims that phase: it maintains per-coordinate running moments of
+// the aggregated gradient (Welford over steps) and, per parameter tensor
+// (one segment of the flat layout, per `shapes`), transmits the layer only
+// when its signal is unambiguous -- when the squared mass of the mean
+// gradient exceeds threshold^2 times the variance estimate. Skipped layers
+// are not lost: their gradients accumulate into an error-feedback residual
+// that is replayed (added in) the next time the layer is sent, so the total
+// applied update is conserved and only its timing is deferred.
+//
+// The payload is the sent layers' floats plus a 1-bit-per-layer send mask;
+// dense floats still sum, so the collective stays allreduce (the mask is
+// metadata in the header). All evolving buffers -- moments, residual, step
+// and send counters -- round-trip through state()/set_state() so resumed
+// runs replay bitwise.
+#pragma once
+
+#include "compress/compressor.h"
+
+namespace pf::compress {
+
+class VarianceGateReducer : public Reducer {
+ public:
+  // `threshold`: a layer sends when sum(mean^2) >= threshold^2 *
+  // sum(var)/step; larger thresholds skip more. `warmup_steps`: the first
+  // steps always send (the moment estimates are still warming up).
+  explicit VarianceGateReducer(double threshold, int64_t warmup_steps = 8)
+      : threshold_(threshold), warmup_steps_(warmup_steps) {}
+
+  std::string name() const override { return "variance-gate"; }
+  Tensor reduce(const std::vector<Tensor>& grads,
+                const std::vector<Shape>& shapes, ReduceStats* stats) override;
+  ReducerState state() const override;
+  void set_state(const ReducerState& st) override;
+
+  // Cumulative gate decisions (for the bench's frontier table).
+  int64_t layers_sent() const { return layers_sent_; }
+  int64_t layers_skipped() const { return layers_skipped_; }
+
+ private:
+  double threshold_;
+  int64_t warmup_steps_;
+
+  // Welford moments over the per-step aggregated mean gradient, flat over
+  // all coordinates; the residual holds skipped layers' deferred mass.
+  // (The residual of the *mean* gradient equals the mean of per-worker
+  // residuals under the mean convention, so one buffer suffices.)
+  Tensor mean_;
+  Tensor m2_;
+  Tensor residual_;
+  int64_t step_ = 0;
+  int64_t layers_sent_ = 0;
+  int64_t layers_skipped_ = 0;
+};
+
+}  // namespace pf::compress

@@ -14,8 +14,11 @@ namespace pf::core {
 
 namespace {
 
-// On-disk magic for TrainState files ("PUFFTST1").
-constexpr uint64_t kTrainStateMagic = 0x5055464654535431ull;
+// On-disk magics for TrainState files: v1 ("PUFFTST1", 3-word policy, no
+// layer_ranks / reducer state) is read-only legacy; v2 ("PUFFTST2") is
+// what save_train_state writes.
+constexpr uint64_t kTrainStateMagicV1 = 0x5055464654535431ull;
+constexpr uint64_t kTrainStateMagicV2 = 0x5055464654535432ull;
 
 void put_u64(std::vector<char>& buf, uint64_t v) {
   const char* p = reinterpret_cast<const char*>(&v);
@@ -122,6 +125,29 @@ void restore_optimizer(optim::Optimizer& opt, const TrainState& st) {
   opt.set_state_scalars(st.opt_scalars);
 }
 
+namespace {
+
+void put_tensor(std::vector<char>& payload, const Tensor& t) {
+  put_u64(payload, static_cast<uint64_t>(t.dim()));
+  for (int64_t d = 0; d < t.dim(); ++d)
+    put_u64(payload, static_cast<uint64_t>(t.size(d)));
+  const char* data = reinterpret_cast<const char*>(std::as_const(t).data());
+  payload.insert(payload.end(), data,
+                 data + static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor read_tensor(Reader& r) {
+  const uint64_t dim = r.u64();
+  Shape shape(dim);
+  for (uint64_t d = 0; d < dim; ++d)
+    shape[d] = static_cast<int64_t>(r.u64());
+  Tensor t = Tensor::uninit(std::move(shape));
+  r.floats(t.data(), static_cast<size_t>(t.numel()));
+  return t;
+}
+
+}  // namespace
+
 void save_train_state(const TrainState& st, const std::string& path) {
   std::vector<char> payload;
   put_u64(payload, static_cast<uint64_t>(st.next_epoch));
@@ -137,21 +163,22 @@ void save_train_state(const TrainState& st, const std::string& path) {
   put_u64(payload, st.opt_scalars.size());
   for (int64_t s : st.opt_scalars) put_u64(payload, static_cast<uint64_t>(s));
   put_u64(payload, st.opt_tensors.size());
-  for (const Tensor& t : st.opt_tensors) {
-    put_u64(payload, static_cast<uint64_t>(t.dim()));
-    for (int64_t d = 0; d < t.dim(); ++d)
-      put_u64(payload, static_cast<uint64_t>(t.size(d)));
-    const char* data = reinterpret_cast<const char*>(t.data());
-    payload.insert(payload.end(), data,
-                   data + static_cast<size_t>(t.numel()) * sizeof(float));
-  }
+  for (const Tensor& t : st.opt_tensors) put_tensor(payload, t);
+  // v2 tail: moving per-layer ranks + stateful-reducer buffers.
+  put_u64(payload, st.layer_ranks.size());
+  for (int64_t r : st.layer_ranks) put_u64(payload, static_cast<uint64_t>(r));
+  put_u64(payload, st.reducer.scalars.size());
+  for (int64_t s : st.reducer.scalars)
+    put_u64(payload, static_cast<uint64_t>(s));
+  put_u64(payload, st.reducer.tensors.size());
+  for (const Tensor& t : st.reducer.tensors) put_tensor(payload, t);
 
   nn::atomic_write(path, [&](std::ofstream& os) {
     auto write_u64 = [&os](uint64_t v) {
       fault::on_write_bytes(sizeof(v));
       os.write(reinterpret_cast<const char*>(&v), sizeof(v));
     };
-    write_u64(kTrainStateMagic);
+    write_u64(kTrainStateMagicV2);
     write_u64(nn::fnv1a(payload.data(), payload.size()));
     write_u64(payload.size());
     fault::on_write_bytes(static_cast<int64_t>(payload.size()));
@@ -168,8 +195,10 @@ TrainState load_train_state(const std::string& path) {
     if (!is) throw std::runtime_error("train state: truncated file " + path);
     return v;
   };
-  if (read_u64() != kTrainStateMagic)
+  const uint64_t magic = read_u64();
+  if (magic != kTrainStateMagicV1 && magic != kTrainStateMagicV2)
     throw std::runtime_error("train state: bad magic in " + path);
+  const bool v1 = magic == kTrainStateMagicV1;
   const uint64_t checksum = read_u64();
   const uint64_t payload_bytes = read_u64();
   std::vector<char> payload(payload_bytes);
@@ -187,7 +216,16 @@ TrainState load_train_state(const std::string& path) {
   st.low_rank_phase = r.u64() != 0;
   st.svd_seconds = r.f64();
   st.cumulative_seconds = r.f64();
-  for (uint64_t& w : st.policy) w = r.u64();
+  // v1 wrote 3 policy words; the 4-word layouts of the legacy kinds are
+  // their 3-word layouts zero-extended, so reading 3 + leaving word 3 at 0
+  // decodes identically.
+  const size_t n_policy_words = v1 ? 3 : 4;
+  for (size_t i = 0; i < n_policy_words; ++i) st.policy[i] = r.u64();
+  if (v1 && st.policy[0] >= 2)
+    throw std::runtime_error(
+        "train state: v1 snapshot " + path + " carries policy kind word " +
+        std::to_string(st.policy[0]) +
+        ", which no v1 writer could produce (corrupt file)");
   st.model_hash = r.u64();
   st.rng = r.rng();
   const uint64_t n_workers = r.u64();
@@ -199,14 +237,21 @@ TrainState load_train_state(const std::string& path) {
     st.opt_scalars.push_back(static_cast<int64_t>(r.u64()));
   const uint64_t n_tensors = r.u64();
   st.opt_tensors.reserve(n_tensors);
-  for (uint64_t i = 0; i < n_tensors; ++i) {
-    const uint64_t dim = r.u64();
-    Shape shape(dim);
-    for (uint64_t d = 0; d < dim; ++d)
-      shape[d] = static_cast<int64_t>(r.u64());
-    Tensor t = Tensor::uninit(std::move(shape));
-    r.floats(t.data(), static_cast<size_t>(t.numel()));
-    st.opt_tensors.push_back(std::move(t));
+  for (uint64_t i = 0; i < n_tensors; ++i)
+    st.opt_tensors.push_back(read_tensor(r));
+  if (!v1) {
+    const uint64_t n_ranks = r.u64();
+    st.layer_ranks.reserve(n_ranks);
+    for (uint64_t i = 0; i < n_ranks; ++i)
+      st.layer_ranks.push_back(static_cast<int64_t>(r.u64()));
+    const uint64_t n_red_scalars = r.u64();
+    st.reducer.scalars.reserve(n_red_scalars);
+    for (uint64_t i = 0; i < n_red_scalars; ++i)
+      st.reducer.scalars.push_back(static_cast<int64_t>(r.u64()));
+    const uint64_t n_red_tensors = r.u64();
+    st.reducer.tensors.reserve(n_red_tensors);
+    for (uint64_t i = 0; i < n_red_tensors; ++i)
+      st.reducer.tensors.push_back(read_tensor(r));
   }
   return st;
 }

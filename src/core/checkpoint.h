@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/compressor.h"
 #include "core/rank_policy.h"
 #include "nn/module.h"
 #include "optim/optim.h"
@@ -37,13 +38,24 @@ struct TrainState {
   bool low_rank_phase = false;  // vanilla (pre-SVD) vs hybrid (post-SVD)
   double svd_seconds = 0;       // one-time factorization cost already paid
   double cumulative_seconds = 0;  // wall/sim clock carried across the crash
-  std::array<uint64_t, 3> policy = {0, 0, 0};  // RankPolicy::encode()
+  std::array<uint64_t, 4> policy = {0, 0, 0, 0};  // RankPolicy::encode()
 
   Rng::State rng{};  // the harness's primary stream at the epoch boundary
   std::vector<Rng::State> worker_rngs;  // per-worker streams (shm cluster)
 
   std::vector<int64_t> opt_scalars;  // optimizer integer state (Adam's t)
   std::vector<Tensor> opt_tensors;   // optimizer slot buffers, stable order
+
+  // v2 ("PUFFTST2") additions. layer_ranks: each low-rank layer's rank in
+  // nn::collect_ranks order -- under kAbReproject the ranks move during
+  // training, and a resumed run must re-shape its hybrid (nn::apply_ranks)
+  // before loading weights. reducer: a stateful gradient reducer's evolving
+  // buffers (error-feedback residuals, sign momentum, variance-gate
+  // moments); dropping them on resume would silently re-lose the deferred
+  // gradient mass. Both empty for v1-era configurations, and v1 snapshots
+  // load with both empty (the legacy policy kinds never populate them).
+  std::vector<int64_t> layer_ranks;
+  compress::ReducerState reducer;
 
   // FNV-1a over the model's parameter and buffer bytes at snapshot time.
   // Stamped by save_snapshot, verified by load_snapshot: a crash between
@@ -62,8 +74,12 @@ uint64_t hash_model(nn::Module& model);
 void capture_optimizer(optim::Optimizer& opt, TrainState& st);
 void restore_optimizer(optim::Optimizer& opt, const TrainState& st);
 
-// Atomic, checksummed TrainState file ("PUFFTST1"). load throws on I/O
-// failure, bad magic, truncation, or checksum mismatch.
+// Atomic, checksummed TrainState file. Writes the v2 format ("PUFFTST2":
+// 4-word policy + layer_ranks + reducer state); load also accepts v1
+// files ("PUFFTST1", written by older builds) by zero-extending the
+// 3-word policy -- but rejects a v1 file whose policy kind word claims an
+// adaptive kind, which a v1 writer could never have produced. load throws
+// on I/O failure, bad magic, truncation, or checksum mismatch.
 void save_train_state(const TrainState& st, const std::string& path);
 TrainState load_train_state(const std::string& path);
 

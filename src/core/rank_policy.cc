@@ -2,46 +2,85 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 #include "core/factorize.h"
 
 namespace pf::core {
 
-std::array<uint64_t, 3> RankPolicy::encode() const {
-  const double knob = kind == Kind::kFixedRatio ? ratio : energy;
-  return {static_cast<uint64_t>(kind), std::bit_cast<uint64_t>(knob),
-          static_cast<uint64_t>(min_rank)};
+std::array<uint64_t, 4> RankPolicy::encode() const {
+  switch (kind) {
+    case Kind::kFixedRatio:
+      return {0, std::bit_cast<uint64_t>(ratio),
+              static_cast<uint64_t>(min_rank), 0};
+    case Kind::kEnergy:
+      return {1, std::bit_cast<uint64_t>(energy),
+              static_cast<uint64_t>(min_rank), 0};
+    case Kind::kVarianceGated:
+      return {2, std::bit_cast<uint64_t>(vg_threshold),
+              static_cast<uint64_t>(vg_warmup_steps),
+              std::bit_cast<uint64_t>(ratio)};
+    case Kind::kAbReproject:
+      return {3, std::bit_cast<uint64_t>(energy),
+              static_cast<uint64_t>(min_rank),
+              static_cast<uint64_t>(reproject_every)};
+  }
+  throw std::runtime_error("rank policy: unencodable kind");
 }
 
-RankPolicy RankPolicy::decode(const std::array<uint64_t, 3>& words) {
+RankPolicy RankPolicy::decode(const std::array<uint64_t, 4>& words) {
   RankPolicy p;
-  p.kind = static_cast<Kind>(words[0]);
-  const double knob = std::bit_cast<double>(words[1]);
-  if (p.kind == Kind::kFixedRatio)
-    p.ratio = knob;
-  else
-    p.energy = knob;
-  p.min_rank = static_cast<int64_t>(words[2]);
+  switch (words[0]) {
+    case 0:
+      p.kind = Kind::kFixedRatio;
+      p.ratio = std::bit_cast<double>(words[1]);
+      p.min_rank = static_cast<int64_t>(words[2]);
+      break;
+    case 1:
+      p.kind = Kind::kEnergy;
+      p.energy = std::bit_cast<double>(words[1]);
+      p.min_rank = static_cast<int64_t>(words[2]);
+      break;
+    case 2:
+      p.kind = Kind::kVarianceGated;
+      p.vg_threshold = std::bit_cast<double>(words[1]);
+      p.vg_warmup_steps = static_cast<int64_t>(words[2]);
+      p.ratio = std::bit_cast<double>(words[3]);
+      break;
+    case 3:
+      p.kind = Kind::kAbReproject;
+      p.energy = std::bit_cast<double>(words[1]);
+      p.min_rank = static_cast<int64_t>(words[2]);
+      p.reproject_every = static_cast<int64_t>(words[3]);
+      break;
+    default:
+      throw std::runtime_error(
+          "rank policy: unknown kind word " + std::to_string(words[0]) +
+          " (snapshot from a newer build, or corrupt); refusing to treat "
+          "it as fixed-ratio");
+  }
   return p;
 }
 
 bool operator==(const RankPolicy& a, const RankPolicy& b) {
-  if (a.kind != b.kind || a.min_rank != b.min_rank) return false;
-  // Only the active knob matters: fixed(0.25) with a stale energy field is
-  // still fixed(0.25).
-  return a.kind == RankPolicy::Kind::kFixedRatio ? a.ratio == b.ratio
-                                                 : a.energy == b.energy;
+  // The encoding carries exactly the knobs active for the kind: fixed(0.25)
+  // with a stale energy field is still fixed(0.25).
+  return a.encode() == b.encode();
 }
 
 int64_t RankPolicy::rank_for(const Tensor& unrolled_weight) const {
-  const int64_t full =
-      std::min(unrolled_weight.size(0), unrolled_weight.size(1));
-  if (kind == Kind::kFixedRatio) {
-    return std::max<int64_t>(
-        min_rank, static_cast<int64_t>(full * ratio));
+  const int64_t full = std::max<int64_t>(
+      1, std::min(unrolled_weight.size(0), unrolled_weight.size(1)));
+  int64_t r;
+  if (kind == Kind::kFixedRatio || kind == Kind::kVarianceGated) {
+    r = std::max<int64_t>(min_rank, static_cast<int64_t>(full * ratio));
+  } else {
+    r = choose_rank_for_energy(unrolled_weight, energy, min_rank);
   }
-  return std::min(full, choose_rank_for_energy(unrolled_weight, energy,
-                                               min_rank));
+  // Clamp like randomized_svd/gram_svd: a rank above min(m, n) cannot be
+  // factorized (the old fixed-ratio path let min_rank exceed `full`), and
+  // rank 0 is never a valid factorization.
+  return std::clamp<int64_t>(r, 1, full);
 }
 
 namespace {

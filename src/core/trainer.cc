@@ -8,6 +8,7 @@
 #include "core/checkpoint.h"
 #include "core/eval.h"
 #include "metrics/metrics.h"
+#include "nn/reproject.h"
 #include "optim/optim.h"
 #include "runtime/thread_pool.h"
 #include "trace/trace.h"
@@ -115,6 +116,11 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
             "resume: snapshot is in the low-rank phase but no hybrid "
             "factory was given");
       model = make_hybrid(rng);
+      // Under kAbReproject the per-layer ranks drift away from what the
+      // factory bakes in; re-shape to the snapshot's ranks BEFORE building
+      // the optimizer (velocity shapes) and loading weights (shape check).
+      if (!st.layer_ranks.empty())
+        nn::apply_ranks(*model, st.layer_ranks);
       opt = std::make_unique<optim::SGD>(model->parameters(), cfg.lr,
                                          cfg.momentum, cfg.weight_decay);
     }
@@ -149,10 +155,35 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
                                          cfg.momentum, cfg.weight_decay);
       low_rank_phase = true;
     }
+    // AB-style refresh round (nn/reproject.h): every reproject_every
+    // epochs of the low-rank phase, densify, train the dense model for one
+    // epoch so the spectrum can move, then re-SVD at policy-chosen ranks.
+    const bool refresh =
+        cfg.rank_policy.kind == RankPolicy::Kind::kAbReproject &&
+        cfg.rank_policy.reproject_every > 0 && low_rank_phase &&
+        make_hybrid && epoch > warmup &&
+        (epoch - warmup) % cfg.rank_policy.reproject_every == 0;
+
     opt->set_lr(sched.at_epoch(epoch));
     metrics::Timer t;
     double train_loss;
-    {
+    if (refresh) {
+      PF_TRACE_SCOPE_C("train.epoch.refresh", epoch);
+      std::unique_ptr<nn::UnaryModule> vanilla = make_vanilla(rng);
+      nn::defactorize(*model, *vanilla);
+      optim::SGD refresh_opt(vanilla->parameters(), sched.at_epoch(epoch),
+                             cfg.momentum, cfg.weight_decay);
+      train_loss = vision_epoch(*vanilla, refresh_opt, ds, cfg, epoch);
+      nn::ReprojectReport rep;
+      {
+        PF_TRACE_SCOPE_C("train.svd_reproject", epoch);
+        rep = nn::reproject(*vanilla, *model, cfg.rank_policy, rng);
+      }
+      out.svd_seconds += rep.svd_seconds;
+      // Ranks may have moved: re-derive the velocity slots (changed shapes
+      // restart from zero -- the re-SVD re-based those factors).
+      opt->rebind_slots();
+    } else {
       PF_TRACE_SCOPE_C(
           low_rank_phase ? "train.epoch.finetune" : "train.epoch.warmup",
           epoch);
@@ -162,7 +193,7 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
     const EvalResult ev = evaluate_vision(*model, ds, cfg.batch,
                                           cfg.label_smoothing);
     out.epochs.push_back(EpochRecord{epoch, train_loss, ev.acc, ev.top5, secs,
-                                     low_rank_phase});
+                                     low_rank_phase, refresh});
     out.final_acc = ev.acc;
     out.final_top5 = ev.top5;
     out.final_loss = ev.loss;
@@ -177,6 +208,7 @@ VisionResult train_vision(const VisionModelFactory& make_vanilla,
       st.cumulative_seconds = carried_seconds + total_timer.seconds();
       st.policy = cfg.rank_policy.encode();
       st.rng = rng.state();
+      st.layer_ranks = nn::collect_ranks(*model);
       capture_optimizer(*opt, st);
       save_snapshot(*model, st, cfg.checkpoint_dir);
     }

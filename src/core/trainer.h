@@ -72,6 +72,9 @@ struct EpochRecord {
   double test_top5 = 0;
   double seconds = 0;    // measured wall-clock for the epoch
   bool low_rank_phase = false;
+  // AB-style full-rank refresh round: this epoch trained the densified
+  // model and re-SVD-ed it afterwards (kAbReproject only).
+  bool refresh_round = false;
 };
 
 struct VisionResult {

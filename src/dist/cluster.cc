@@ -100,6 +100,7 @@ DistEpochRecord DataParallelTrainer::train_epoch(
             : cm_.allgather_seconds(stats.payload_bytes_per_worker,
                                     stats.n_messages);
     rec.breakdown.bytes_per_worker = stats.payload_bytes_per_worker;
+    cumulative_bytes_ += stats.payload_bytes_per_worker;
 
     metrics::Timer ts;
     model_->set_flat_grads(agg);

@@ -86,7 +86,16 @@ class DataParallelTrainer {
   void replace_model(std::unique_ptr<nn::UnaryModule> model,
                      std::unique_ptr<compress::Reducer> reducer);
 
+  // The active reducer (null = none was given). Lets harnesses poke
+  // reducer-specific counters (e.g. VarianceGateReducer's gate decisions).
+  compress::Reducer* reducer() { return reducer_.get(); }
+
   double cumulative_sim_seconds() const { return sim_seconds_; }
+  // Total payload bytes one worker transmitted since construction, summed
+  // over every step (breakdown.bytes_per_worker only records the LAST
+  // step's payload, which misses step-to-step variation -- exactly what a
+  // gating reducer produces). Survives replace_model.
+  int64_t cumulative_bytes_per_worker() const { return cumulative_bytes_; }
 
  private:
   std::unique_ptr<nn::UnaryModule> model_;
@@ -96,6 +105,7 @@ class DataParallelTrainer {
   std::unique_ptr<optim::SGD> opt_;
   std::vector<Shape> param_shapes_;
   double sim_seconds_ = 0;
+  int64_t cumulative_bytes_ = 0;
 };
 
 }  // namespace pf::dist

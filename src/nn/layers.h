@@ -51,6 +51,10 @@ class LowRankLinear : public UnaryModule {
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
   int64_t rank() const { return rank_; }
+  // Re-targets the rank (AB-style re-projection, nn/reproject.h). Updates
+  // only the bookkeeping: the caller must immediately re-factorize (or
+  // apply_ranks-reshape) so u/v take their new (out, r)/(in, r) shapes.
+  void set_rank(int64_t r) { rank_ = r; }
   ag::Var u;     // (out, r)
   ag::Var v;     // (in, r)
   ag::Var bias;  // (out) or null
@@ -93,6 +97,8 @@ class LowRankConv2d : public UnaryModule {
   int64_t stride() const { return stride_; }
   int64_t pad() const { return pad_; }
   int64_t rank() const { return rank_; }
+  // See LowRankLinear::set_rank; u/v must be re-factorized right after.
+  void set_rank(int64_t r) { rank_ = r; }
   ag::Var u;  // (r, c_in, k, k): thin convolution
   ag::Var v;  // (c_out, r, 1, 1): channel up-projection
   QWeight qu; // unrolled (r, c_in*k*k), per-r scales

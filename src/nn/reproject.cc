@@ -1,0 +1,272 @@
+#include "nn/reproject.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/factorize.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "tensor/matmul.h"
+
+namespace pf::nn {
+
+namespace {
+
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::runtime_error("reproject: " + msg);
+}
+
+// Densify a low-rank conv back to (c_out, c_in, k, k) through the same
+// unrolled-matrix convention factorize_conv uses.
+Tensor densify_conv(const LowRankConv2d& lr) {
+  const int64_t c_in = lr.c_in(), c_out = lr.c_out(), k = lr.kernel();
+  const int64_t r = lr.rank();
+  // U (r, c_in, k, k) -> unrolled factor (c_in*k*k, r).
+  Tensor fu = Tensor::uninit(Shape{c_in * k * k, r});
+  const float* u4p = std::as_const(lr.u->value).data();
+  float* fup = fu.data();
+  for (int64_t rr = 0; rr < r; ++rr)
+    for (int64_t ci = 0; ci < c_in; ++ci)
+      for (int64_t ki = 0; ki < k; ++ki)
+        for (int64_t kj = 0; kj < k; ++kj)
+          fup[((ci * k + ki) * k + kj) * r + rr] =
+              u4p[((rr * c_in + ci) * k + ki) * k + kj];
+  // V (c_out, r, 1, 1) is already the (c_out, r) factor, flat.
+  Tensor fv(Shape{c_out, r},
+            std::vector<float>(std::as_const(lr.v->value).data(),
+                               std::as_const(lr.v->value).data() + c_out * r));
+  Tensor rec = pf::matmul_nt(fu, fv);  // (c_in*k*k, c_out)
+  // Re-roll column co into filter co.
+  Tensor w = Tensor::uninit(Shape{c_out, c_in, k, k});
+  const float* rp = std::as_const(rec).data();
+  float* wp = w.data();
+  for (int64_t co = 0; co < c_out; ++co)
+    for (int64_t ci = 0; ci < c_in; ++ci)
+      for (int64_t ki = 0; ki < k; ++ki)
+        for (int64_t kj = 0; kj < k; ++kj)
+          wp[((co * c_in + ci) * k + ki) * k + kj] =
+              rp[((ci * k + ki) * k + kj) * c_out + co];
+  return w;
+}
+
+// Unroll a dense conv weight to (c_in*k*k, c_out) -- factorize_conv's
+// convention, needed here so the policy can rank the unrolled matrix.
+Tensor unroll_conv(const Conv2d& conv) {
+  const int64_t c_in = conv.c_in(), c_out = conv.c_out(), k = conv.kernel();
+  Tensor unrolled = Tensor::uninit(Shape{c_in * k * k, c_out});
+  const float* wp = std::as_const(conv.weight->value).data();
+  float* unp = unrolled.data();
+  for (int64_t co = 0; co < c_out; ++co)
+    for (int64_t ci = 0; ci < c_in; ++ci)
+      for (int64_t ki = 0; ki < k; ++ki)
+        for (int64_t kj = 0; kj < k; ++kj)
+          unp[((ci * k + ki) * k + kj) * c_out + co] =
+              wp[((co * c_in + ci) * k + ki) * k + kj];
+  return unrolled;
+}
+
+void copy_same_type(Module& src, Module& dst, const std::string& type) {
+  auto& sp = src.local_params();
+  auto& dp = dst.local_params();
+  check(sp.size() == dp.size(), "param count mismatch in " + type);
+  for (size_t i = 0; i < sp.size(); ++i) {
+    check(sp[i].var->value.shape() == dp[i].var->value.shape(),
+          "param shape mismatch in " + type + "." + sp[i].name);
+    dp[i].var->value = sp[i].var->value;
+  }
+  auto& sb = src.local_buffers();
+  auto& db = dst.local_buffers();
+  check(sb.size() == db.size(), "buffer count mismatch in " + type);
+  for (size_t i = 0; i < sb.size(); ++i) db[i].value = sb[i].value;
+}
+
+}  // namespace
+
+void defactorize(Module& hybrid, Module& vanilla) {
+  const std::string st = hybrid.type_name(), dt = vanilla.type_name();
+  if (st == dt) {
+    copy_same_type(hybrid, vanilla, st);
+    const auto& sc = hybrid.children();
+    const auto& dc = vanilla.children();
+    check(sc.size() == dc.size(), "child count mismatch in " + st);
+    for (size_t i = 0; i < sc.size(); ++i) defactorize(*sc[i], *dc[i]);
+    return;
+  }
+  if (st == "LowRankLinear" && dt == "Linear") {
+    auto& lr = static_cast<LowRankLinear&>(hybrid);
+    auto& fc = static_cast<Linear&>(vanilla);
+    check(lr.in_features() == fc.in_features() &&
+              lr.out_features() == fc.out_features(),
+          "linear shape mismatch");
+    fc.weight->value = pf::matmul_nt(lr.u->value, lr.v->value);  // (out, in)
+    if (lr.bias && fc.bias) fc.bias->value = lr.bias->value;
+    return;
+  }
+  if (st == "LowRankConv2d" && dt == "Conv2d") {
+    auto& lr = static_cast<LowRankConv2d&>(hybrid);
+    auto& conv = static_cast<Conv2d&>(vanilla);
+    check(lr.c_in() == conv.c_in() && lr.c_out() == conv.c_out() &&
+              lr.kernel() == conv.kernel(),
+          "conv shape mismatch");
+    conv.weight->value = densify_conv(lr);
+    return;
+  }
+  if (st == "LowRankLSTMLayer" && dt == "LSTMLayer") {
+    auto& lr = static_cast<LowRankLSTMLayer&>(hybrid);
+    auto& lstm = static_cast<LSTMLayer&>(vanilla);
+    check(lr.hidden() == lstm.hidden() &&
+              lr.input_dim() == lstm.input_dim(),
+          "lstm shape mismatch");
+    const int64_t h = lr.hidden(), d = lr.input_dim();
+    Tensor w_ih = Tensor::uninit(Shape{4 * h, d});
+    Tensor w_hh = Tensor::uninit(Shape{4 * h, h});
+    for (size_t gate = 0; gate < 4; ++gate) {
+      Tensor gi = pf::matmul_nt(lr.u_ih[gate]->value,
+                                lr.v_ih[gate]->value);  // (h, d)
+      Tensor gh = pf::matmul_nt(lr.u_hh[gate]->value,
+                                lr.v_hh[gate]->value);  // (h, h)
+      std::memcpy(w_ih.data() + static_cast<int64_t>(gate) * h * d,
+                  std::as_const(gi).data(),
+                  static_cast<size_t>(h * d) * sizeof(float));
+      std::memcpy(w_hh.data() + static_cast<int64_t>(gate) * h * h,
+                  std::as_const(gh).data(),
+                  static_cast<size_t>(h * h) * sizeof(float));
+    }
+    lstm.w_ih->value = std::move(w_ih);
+    lstm.w_hh->value = std::move(w_hh);
+    lstm.bias->value = lr.bias->value;
+    return;
+  }
+  check(false, "unsupported pair " + st + " -> " + dt);
+}
+
+namespace {
+
+void reproject_walk(Module& src, Module& dst, const core::RankPolicy& policy,
+                    Rng& rng, ReprojectReport& report) {
+  const std::string st = src.type_name(), dt = dst.type_name();
+  if (st == dt) {
+    copy_same_type(src, dst, st);
+    const auto& sc = src.children();
+    const auto& dc = dst.children();
+    check(sc.size() == dc.size(), "child count mismatch in " + st);
+    for (size_t i = 0; i < sc.size(); ++i)
+      reproject_walk(*sc[i], *dc[i], policy, rng, report);
+    return;
+  }
+  if (st == "Conv2d" && dt == "LowRankConv2d") {
+    auto& conv = static_cast<Conv2d&>(src);
+    auto& lr = static_cast<LowRankConv2d&>(dst);
+    Tensor unrolled = unroll_conv(conv);
+    ReprojectEntry e;
+    e.layer = "LowRankConv2d " + std::to_string(unrolled.size(0)) + "x" +
+              std::to_string(unrolled.size(1));
+    e.old_rank = lr.rank();
+    e.new_rank = policy.rank_for(unrolled);
+    lr.set_rank(e.new_rank);
+    core::factorize_conv(conv, lr, rng);
+    report.entries.push_back(std::move(e));
+    return;
+  }
+  if (st == "Linear" && dt == "LowRankLinear") {
+    auto& fc = static_cast<Linear&>(src);
+    auto& lr = static_cast<LowRankLinear&>(dst);
+    ReprojectEntry e;
+    e.layer = "LowRankLinear " + std::to_string(fc.out_features()) + "x" +
+              std::to_string(fc.in_features());
+    e.old_rank = lr.rank();
+    e.new_rank = policy.rank_for(fc.weight->value);
+    lr.set_rank(e.new_rank);
+    core::factorize_linear(fc, lr, rng);
+    report.entries.push_back(std::move(e));
+    return;
+  }
+  if (st == "LSTMLayer" && dt == "LowRankLSTMLayer") {
+    // Per-gate factor arrays share one rank; re-SVD at the existing rank
+    // (the refresh still re-bases the factors on the dense-trained weight).
+    auto& lstm = static_cast<LSTMLayer&>(src);
+    auto& lr = static_cast<LowRankLSTMLayer&>(dst);
+    ReprojectEntry e;
+    e.layer = "LowRankLSTMLayer h=" + std::to_string(lr.hidden());
+    e.old_rank = e.new_rank = lr.rank();
+    core::factorize_lstm(lstm, lr, rng);
+    report.entries.push_back(std::move(e));
+    return;
+  }
+  check(false, "unsupported pair " + st + " -> " + dt);
+}
+
+template <typename Fn>
+void visit_low_rank(Module& m, Fn&& fn) {
+  const std::string t = m.type_name();
+  if (t == "LowRankConv2d" || t == "LowRankLinear" ||
+      t == "LowRankLSTMLayer")
+    fn(m, t);
+  for (Module* c : m.children()) visit_low_rank(*c, fn);
+}
+
+}  // namespace
+
+ReprojectReport reproject(Module& vanilla, Module& hybrid,
+                          const core::RankPolicy& policy, Rng& rng) {
+  ReprojectReport report;
+  const double svd_before = core::last_warm_start_svd_seconds();
+  reproject_walk(vanilla, hybrid, policy, rng, report);
+  report.svd_seconds = core::last_warm_start_svd_seconds() - svd_before;
+  return report;
+}
+
+std::vector<int64_t> collect_ranks(Module& hybrid) {
+  std::vector<int64_t> ranks;
+  visit_low_rank(hybrid, [&](Module& m, const std::string& t) {
+    if (t == "LowRankConv2d")
+      ranks.push_back(static_cast<LowRankConv2d&>(m).rank());
+    else if (t == "LowRankLinear")
+      ranks.push_back(static_cast<LowRankLinear&>(m).rank());
+    else
+      ranks.push_back(static_cast<LowRankLSTMLayer&>(m).rank());
+  });
+  return ranks;
+}
+
+void apply_ranks(Module& hybrid, const std::vector<int64_t>& ranks) {
+  size_t i = 0;
+  visit_low_rank(hybrid, [&](Module& m, const std::string& t) {
+    check(i < ranks.size(), "rank list shorter than the model's layer list");
+    const int64_t r = ranks[i++];
+    if (t == "LowRankConv2d") {
+      auto& lr = static_cast<LowRankConv2d&>(m);
+      const int64_t full = std::min(
+          lr.c_in() * lr.kernel() * lr.kernel(), lr.c_out());
+      check(r >= 1 && r <= full,
+            "rank " + std::to_string(r) + " outside [1, " +
+                std::to_string(full) + "] for " + t);
+      lr.set_rank(r);
+      lr.u->value =
+          Tensor::zeros(Shape{r, lr.c_in(), lr.kernel(), lr.kernel()});
+      lr.v->value = Tensor::zeros(Shape{lr.c_out(), r, 1, 1});
+    } else if (t == "LowRankLinear") {
+      auto& lr = static_cast<LowRankLinear&>(m);
+      const int64_t full = std::min(lr.in_features(), lr.out_features());
+      check(r >= 1 && r <= full,
+            "rank " + std::to_string(r) + " outside [1, " +
+                std::to_string(full) + "] for " + t);
+      lr.set_rank(r);
+      lr.u->value = Tensor::zeros(Shape{lr.out_features(), r});
+      lr.v->value = Tensor::zeros(Shape{lr.in_features(), r});
+    } else {
+      // LSTM rank is structural (per-gate arrays); it never moves, so the
+      // snapshot's entry must simply match.
+      auto& lr = static_cast<LowRankLSTMLayer&>(m);
+      check(r == lr.rank(),
+            "snapshot LSTM rank " + std::to_string(r) +
+                " != model rank " + std::to_string(lr.rank()));
+    }
+  });
+  check(i == ranks.size(), "rank list longer than the model's layer list");
+}
+
+}  // namespace pf::nn

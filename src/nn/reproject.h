@@ -1,0 +1,70 @@
+// AB-Training-style periodic re-projection (DESIGN.md §15).
+//
+// Pufferfish freezes each layer's rank at the warm-up -> SVD boundary. The
+// AB-Training follow-on alternates low-rank phases with occasional
+// *full-rank refresh rounds*: reconstruct the dense weights (defactorize),
+// train them dense for one epoch so the spectrum can move, then re-SVD
+// each layer (reproject), letting its rank shrink or grow under the energy
+// criterion. The trainer drives this every `RankPolicy::reproject_every`
+// epochs for the kAbReproject policy; the flat-param layout is re-bucketed
+// afterwards (the optimizer re-derives its slots via SGD::rebind_slots).
+//
+// collect_ranks/apply_ranks make the moving ranks snapshot-able: TrainState
+// stores the per-layer ranks, and resume re-shapes a freshly built hybrid
+// to match before loading the tensor payload (nn::load_checkpoint verifies
+// shapes, so the re-shape must happen first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rank_policy.h"
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace pf::nn {
+
+struct ReprojectEntry {
+  std::string layer;  // e.g. "LowRankConv2d 576x64"
+  int64_t old_rank = 0;
+  int64_t new_rank = 0;
+};
+
+struct ReprojectReport {
+  std::vector<ReprojectEntry> entries;
+  double svd_seconds = 0;  // wall-clock spent re-SVD-ing
+  bool any_rank_changed() const {
+    for (const ReprojectEntry& e : entries)
+      if (e.old_rank != e.new_rank) return true;
+    return false;
+  }
+};
+
+// Reconstructs a structurally parallel vanilla model from a hybrid one:
+// identical module types are copied (params and buffers, so BN running
+// stats survive the round trip); low-rank layers are densified, W = U V^T
+// (convolutions through the unrolled-matrix convention of factorize_conv).
+// The exact inverse of core::warm_start's transfer direction.
+void defactorize(Module& hybrid, Module& vanilla);
+
+// Re-initializes `hybrid` from the (refresh-trained) `vanilla` model:
+// same-type modules are copied; each factorizable layer is re-SVD-ed at
+// the rank `policy` assigns its *current* dense weight (clamped to
+// [1, min(m, n)] by RankPolicy::rank_for), resizing the layer's U/V.
+// LSTM layers re-SVD at their existing rank (their per-gate factor arrays
+// keep a single shared rank). Returns what moved.
+ReprojectReport reproject(Module& vanilla, Module& hybrid,
+                          const core::RankPolicy& policy, Rng& rng);
+
+// Per-layer ranks of every low-rank layer in visit order (the order
+// reproject/apply_ranks use). Snapshot payload for TrainState.
+std::vector<int64_t> collect_ranks(Module& hybrid);
+
+// Re-targets every low-rank layer to `ranks` (same visit order), resizing
+// its U/V tensors to the new shapes WITHOUT meaningful contents -- callers
+// must immediately load a checkpoint over them. Validates each rank
+// against [1, min(m, n)] and throws on count or bound mismatches.
+void apply_ranks(Module& hybrid, const std::vector<int64_t>& ranks);
+
+}  // namespace pf::nn

@@ -52,6 +52,13 @@ std::vector<Tensor*> SGD::state_tensors() {
   return out;
 }
 
+void SGD::rebind_slots() {
+  if (momentum_ == 0.0f) return;
+  for (size_t i = 0; i < params_.size(); ++i)
+    if (velocity_[i].shape() != params_[i]->var->value.shape())
+      velocity_[i] = Tensor::zeros(params_[i]->var->value.shape());
+}
+
 Adam::Adam(std::vector<nn::Param*> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(params)),

@@ -106,6 +106,15 @@ const std::vector<MethodCosts>& recorded_methods() {
        0.95},
       // Top-k 1%: (index, value) pairs = 8 bytes per kept coordinate.
       {"topk-1pct", Coll::kAllgather, 0.02, 1, 1.5e-9, 2.0e-9, true, 0.99},
+      // Variance-gated transmission (Tsuzuku et al.,
+      // compress::VarianceGateReducer): per-layer mean/variance gating with
+      // error feedback skips ambiguous layers, so the average payload is a
+      // fraction of the dense gradient (0.6 recorded from
+      // bench_adaptive_frontier on this substrate); sent layers are dense
+      // floats, so the collective stays allreduce and decode is free. Error
+      // feedback keeps the accuracy cost marginal.
+      {"variance-gate", Coll::kAllreduce, 0.6, 1, 0.5e-9, 0.2e-9, false,
+       0.998},
   };
   return table;
 }

@@ -72,6 +72,9 @@ double modeled_epoch_seconds(const ModelCosts& costs, const MethodCosts& mc,
 
 std::string CandidateEval::config_string() const {
   if (rank_ratio >= 1.0 || hybrid_k <= 0) return "vanilla";
+  if (reproject_every > 0)
+    return fmt("hybrid r=%.3g K=%d wu=%d R=%d", rank_ratio, hybrid_k,
+               warmup_epochs, reproject_every);
   return fmt("hybrid r=%.3g K=%d wu=%d", rank_ratio, hybrid_k,
              warmup_epochs);
 }
@@ -195,30 +198,46 @@ Plan make_plan(const PlannerRequest& req) {
             // With no warm-up phase the reducer choice is moot; keep one
             // canonical (allreduce-labelled) candidate instead of clones.
             if (wu == 0 && method != "allreduce") continue;
-            CandidateEval e;
-            e.rank_ratio = h.ratio;
-            e.hybrid_k = h.k;
-            e.warmup_epochs = wu;
-            e.bucket_bytes = bucket;
-            e.workers = workers;
-            e.method = method;
-            e.grad_bytes = h.costs.grad_bytes();
-            // The warm-up reducer's accuracy cost applies on top of the
-            // recorded (ratio, K, wu) frontier point.
-            e.predicted_acc =
-                predicted_accuracy(h.ratio, h.k, wu) * mc.acc_factor;
-            e.feasible = e.predicted_acc >= req.accuracy_floor;
-            e.warmup_epoch_s = epoch_s(vanilla_costs, mc, workers, bucket);
-            // Factorized phase always ships plain allreduce: low-rank
-            // factor gradients sum, no encoding needed (the paper's core
-            // "no extra cost" claim).
-            e.final_epoch_s = epoch_s(h.costs, plain, workers, bucket);
-            e.svd_s = h.costs.svd_seconds(req.hw.flops_per_s);
-            e.total_s = static_cast<double>(wu) * e.warmup_epoch_s +
-                        e.svd_s +
-                        static_cast<double>(req.epochs - wu) *
-                            e.final_epoch_s;
-            plan.candidates.push_back(e);
+            for (int reproj : req.reproject_every) {
+              // Refresh rounds fire at low-rank epochs wu+R, wu+2R, ...
+              // strictly before the last epoch index (core/trainer.cc).
+              const int n_refresh =
+                  reproj > 0 ? (req.epochs - 1 - wu) / reproj : 0;
+              // R too large to ever fire degenerates to the R=0 candidate;
+              // keep the canonical one instead of clones.
+              if (reproj > 0 && n_refresh == 0) continue;
+              CandidateEval e;
+              e.rank_ratio = h.ratio;
+              e.hybrid_k = h.k;
+              e.warmup_epochs = wu;
+              e.bucket_bytes = bucket;
+              e.workers = workers;
+              e.method = method;
+              e.reproject_every = reproj;
+              e.grad_bytes = h.costs.grad_bytes();
+              // The warm-up reducer's accuracy cost applies on top of the
+              // recorded (ratio, K, wu) frontier point.
+              e.predicted_acc =
+                  predicted_accuracy(h.ratio, h.k, wu) * mc.acc_factor;
+              e.feasible = e.predicted_acc >= req.accuracy_floor;
+              e.warmup_epoch_s = epoch_s(vanilla_costs, mc, workers, bucket);
+              // Factorized phase always ships plain allreduce: low-rank
+              // factor gradients sum, no encoding needed (the paper's core
+              // "no extra cost" claim).
+              e.final_epoch_s = epoch_s(h.costs, plain, workers, bucket);
+              e.svd_s = h.costs.svd_seconds(req.hw.flops_per_s);
+              // Each refresh round replaces a low-rank epoch with a dense
+              // one (dense compute + dense allreduce) and pays a fresh SVD.
+              const double refresh_epoch_s =
+                  epoch_s(vanilla_costs, plain, workers, bucket);
+              e.total_s = static_cast<double>(wu) * e.warmup_epoch_s +
+                          e.svd_s +
+                          static_cast<double>(req.epochs - wu - n_refresh) *
+                              e.final_epoch_s +
+                          static_cast<double>(n_refresh) *
+                              (refresh_epoch_s + e.svd_s);
+              plan.candidates.push_back(e);
+            }
           }
         }
       }
@@ -231,9 +250,11 @@ Plan make_plan(const PlannerRequest& req) {
         if (a.feasible != b.feasible) return a.feasible;
         if (a.total_s != b.total_s) return a.total_s < b.total_s;
         return std::tie(a.rank_ratio, a.hybrid_k, a.warmup_epochs,
-                        a.bucket_bytes, a.workers, a.method) <
+                        a.reproject_every, a.bucket_bytes, a.workers,
+                        a.method) <
                std::tie(b.rank_ratio, b.hybrid_k, b.warmup_epochs,
-                        b.bucket_bytes, b.workers, b.method);
+                        b.reproject_every, b.bucket_bytes, b.workers,
+                        b.method);
       });
   return plan;
 }

@@ -51,6 +51,11 @@ struct PlannerRequest {
   std::vector<int> workers = {4, 8, 16};
   std::vector<std::string> methods = {"allreduce", "powersgd-r4", "signum",
                                       "topk-1pct"};
+  // AB-style re-projection cadence grid (core::RankPolicy::reproject_every).
+  // Each R > 0 prices the periodic full-rank refresh rounds: a dense epoch
+  // (vanilla compute + dense allreduce) plus a fresh SVD, every R low-rank
+  // epochs. The default {0} (never refresh) keeps existing plans unchanged.
+  std::vector<int> reproject_every = {0};
 };
 
 struct CandidateEval {
@@ -63,6 +68,7 @@ struct CandidateEval {
   int64_t bucket_bytes = 25 << 20;
   int workers = 16;
   std::string method = "allreduce";
+  int reproject_every = 0;  // R > 0: refresh round every R low-rank epochs
 
   int64_t grad_bytes = 0;   // final-phase flat gradient
   double predicted_acc = 0; // recorded-frontier prediction

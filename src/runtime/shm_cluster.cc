@@ -396,6 +396,10 @@ void ShmDataParallelTrainer::save_snapshot(int next_epoch) {
   // Replicas are bitwise-identical at epoch boundaries, so worker 0's
   // weights and optimizer state stand in for the whole cluster.
   core::capture_optimizer(*opts_[0], st);
+  // Stateful reducers (error-feedback residuals, sign momentum,
+  // variance-gate moments) evolve across steps too: dropping them on
+  // resume would silently re-lose the deferred gradient mass.
+  if (reducer_) st.reducer = reducer_->state();
   core::save_snapshot(*replicas_[0], st, cfg_.checkpoint_dir);
 }
 
@@ -415,6 +419,12 @@ int ShmDataParallelTrainer::resume() {
   for (int w = 1; w < cfg_.workers; ++w)
     replicas_[static_cast<size_t>(w)]->set_flat_params(flat);
   for (auto& o : opts_) core::restore_optimizer(*o, st);
+  if (reducer_)
+    reducer_->set_state(st.reducer);
+  else if (!st.reducer.empty())
+    throw std::runtime_error(
+        "shm_cluster: snapshot carries reducer state but this cluster runs "
+        "the plain ring path -- resume with the reducer that wrote it");
   for (size_t w = 0; w < worker_rngs_.size(); ++w)
     worker_rngs_[w].set_state(st.worker_rngs[w]);
   global_step_ = st.global_step;
