@@ -1,5 +1,7 @@
 #include "dist/cluster.h"
 
+#include <algorithm>
+
 #include "metrics/metrics.h"
 #include "runtime/thread_pool.h"
 #include "trace/trace.h"
@@ -13,6 +15,16 @@ float lr_at_epoch(const DistTrainConfig& cfg, int epoch) {
   }
   return optim::StepDecay(cfg.lr, cfg.lr_milestones, cfg.lr_factor)
       .at_epoch(epoch);
+}
+
+ShardRange shard_range(int64_t batch, int lanes, int lane) {
+  ShardRange r;
+  if (batch <= 0 || lanes <= 0 || lane < 0 || lane >= lanes) return r;
+  const int64_t base = batch / lanes;
+  const int64_t rem = batch % lanes;
+  r.start = lane * base + std::min<int64_t>(lane, rem);
+  r.count = base + (lane < rem ? 1 : 0);
+  return r;
 }
 
 DataParallelTrainer::DataParallelTrainer(
@@ -46,7 +58,6 @@ DistEpochRecord DataParallelTrainer::train_epoch(
     const data::SyntheticImages& ds, int epoch) {
   PF_TRACE_SCOPE_C("dist.epoch", epoch);
   const int nodes = cm_.nodes;
-  const int64_t shard = std::max<int64_t>(1, cfg_.global_batch / nodes);
 
   opt_->set_lr(lr_at_epoch(cfg_, epoch));
 
@@ -67,10 +78,9 @@ DistEpochRecord DataParallelTrainer::train_epoch(
     PF_TRACE_SCOPE_C("dist.round", steps);
     metrics::Timer tc;
     for (int w = 0; w < nodes; ++w) {
-      const int64_t start = w * shard;
-      if (start >= gb.images.size(0)) break;
-      const int64_t count =
-          std::min<int64_t>(shard, gb.images.size(0) - start);
+      const ShardRange sr = shard_range(gb.images.size(0), nodes, w);
+      if (sr.count == 0) break;
+      const int64_t start = sr.start, count = sr.count;
       Tensor imgs = slice(gb.images, 0, start, count);
       std::vector<int64_t> labels(
           gb.labels.begin() + start, gb.labels.begin() + start + count);

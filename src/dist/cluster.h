@@ -68,6 +68,20 @@ struct DistTrainConfig {
 // Shared by the modeled cluster and the shm executor (runtime/shm_cluster).
 float lr_at_epoch(const DistTrainConfig& cfg, int epoch);
 
+// Balanced contiguous partition of [0, batch) over `lanes` workers: lane i
+// gets floor(batch/lanes) samples plus one of the first batch%lanes
+// remainders. Every sample lands in exactly one lane (the old floor-based
+// shard could drop the tail when lanes did not divide the batch), lanes are
+// contiguous and ascending, and the partition is a pure function of
+// (batch, lanes) -- the resharding contract elastic membership relies on
+// (tests/elastic_test.cc asserts the exactly-once property for random
+// worker-count sequences).
+struct ShardRange {
+  int64_t start = 0;
+  int64_t count = 0;
+};
+ShardRange shard_range(int64_t batch, int lanes, int lane);
+
 class DataParallelTrainer {
  public:
   DataParallelTrainer(std::unique_ptr<nn::UnaryModule> model,

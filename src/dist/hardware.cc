@@ -1,6 +1,15 @@
 #include "dist/hardware.h"
 
+#include <algorithm>
+
 namespace pf::dist {
+
+double HardwareProfile::slowest_speed(int workers) const {
+  double slowest = 1.0;
+  const int n = std::min<int>(workers, static_cast<int>(worker_speeds.size()));
+  for (int i = 0; i < n; ++i) slowest = std::min(slowest, worker_speeds[i]);
+  return std::max(slowest, 1e-6);
+}
 
 HardwareProfile HardwareProfile::cloud_10g() {
   HardwareProfile p;

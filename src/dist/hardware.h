@@ -17,6 +17,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace pf::dist {
 
@@ -41,6 +42,16 @@ struct HardwareProfile {
   // Effective (achieved) training compute throughput per worker.
   double flops_per_s = 50e9;
 
+  // Heterogeneous clusters: per-worker relative speed multipliers (1.0 =
+  // nominal flops_per_s; 0.5 = half speed). Empty = homogeneous. A
+  // synchronous data-parallel step runs at the SLOWEST participating
+  // worker's pace, so pricing a p-worker job divides compute by
+  // slowest_speed(p). Workers beyond the vector's length are nominal; the
+  // elastic executor fills this from measured per-slot step times
+  // (elastic::speed_profile) so plan::make_plan can decide whether adding a
+  // slow node is worth it.
+  std::vector<double> worker_speeds;
+
   // Concurrent compute slots the whole job shares. 0 (the cluster default)
   // means every rank has its own dedicated compute; a positive value means
   // ranks beyond it time-share -- the shm executor's reality on this host,
@@ -55,6 +66,11 @@ struct HardwareProfile {
   int64_t serve_mem_bytes = 8ll << 30;
 
   bool hierarchical() const { return workers_per_node > 1; }
+  bool heterogeneous() const { return !worker_speeds.empty(); }
+
+  // Relative speed of the slowest of the first `workers` ranks (clamped to
+  // a tiny positive floor so a zero entry cannot divide compute by zero).
+  double slowest_speed(int workers) const;
 
   // The profile grid bench_plan sweeps (Table 19/20 style trade-off study
   // across link generations).

@@ -1,0 +1,75 @@
+// Deterministic membership schedules for elastic data-parallel training
+// (DESIGN.md §16).
+//
+// A MembershipPlan is the elastic analogue of fault::Plan: a pure function
+// of its construction inputs that says which replica slots are active in
+// each training round. Membership only changes at ROUND boundaries (the
+// shm executor's epoch boundaries), where all active replicas are
+// bitwise-identical -- that is the one point where resharding the data and
+// re-bucketing the ring-reduce groups cannot perturb the trajectory.
+//
+// Slots vs lanes: a plan is written against stable replica SLOTS in
+// [0, max_workers). The executor densifies the active set into ring LANES
+// each round, so a plan never needs to know how many workers are currently
+// alive. `random()` derives every coin flip from (seed, round, slot) via
+// splitmix-style mixing, so a chaos schedule replays bitwise from its seed
+// alone (tests/elastic_test.cc prints the seed on failure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pf::elastic {
+
+struct MembershipEvent {
+  enum class Kind { kJoin, kLeave };
+  Kind kind = Kind::kJoin;
+  int worker = 0;  // replica slot in [0, max_workers)
+  int round = 0;   // applied entering this round, before any step runs
+};
+
+class MembershipPlan {
+ public:
+  // Default: static cluster (every slot of whatever universe the executor
+  // has stays active forever).
+  MembershipPlan() = default;
+
+  // Slots [0, initial_active) start active; slots up to max_workers may
+  // join later. initial_active <= 0 means all slots start active.
+  MembershipPlan(int max_workers, int initial_active);
+
+  // Seeded random schedule over `rounds` rounds: each round, every active
+  // slot leaves with probability p_leave (never below min_active live
+  // slots) and every inactive slot joins with probability p_join. Round 0
+  // is event-free so every run starts from the initial membership.
+  static MembershipPlan random(uint64_t seed, int max_workers, int rounds,
+                               double p_join = 0.35, double p_leave = 0.35,
+                               int min_active = 1, int initial_active = 0);
+
+  // Manual schedule building. Events are validated lazily by active_at():
+  // joining an active slot or leaving an inactive one is rejected there,
+  // so a malformed plan fails loudly instead of silently renumbering.
+  MembershipPlan& join(int worker, int round);
+  MembershipPlan& leave(int worker, int round);
+
+  bool empty() const { return events_.empty(); }
+  int max_workers() const { return max_workers_; }
+  uint64_t seed() const { return seed_; }
+  const std::vector<MembershipEvent>& events() const { return events_; }
+
+  // Sorted active slots entering `round` (this round's events applied).
+  // Throws if the plan ever empties the cluster or replays a contradictory
+  // event; for round >= the last scheduled event the membership freezes.
+  std::vector<int> active_at(int round) const;
+
+  // The events applied entering `round`, in schedule order.
+  std::vector<MembershipEvent> events_at(int round) const;
+
+ private:
+  int max_workers_ = 0;     // 0 = adopt the executor's slot universe
+  int initial_active_ = 0;  // 0 = all slots
+  uint64_t seed_ = 0;
+  std::vector<MembershipEvent> events_;
+};
+
+}  // namespace pf::elastic

@@ -30,6 +30,16 @@ Plan& Plan::delay_worker(int worker, int64_t step, double delay_ms) {
   return *this;
 }
 
+Plan& Plan::kill_worker_round(int worker, int64_t round) {
+  round_faults_.push_back({WorkerFault::Kind::kKill, worker, round, 0.0});
+  return *this;
+}
+
+Plan& Plan::delay_worker_round(int worker, int64_t round, double delay_ms) {
+  round_faults_.push_back({WorkerFault::Kind::kDelay, worker, round, delay_ms});
+  return *this;
+}
+
 Plan& Plan::drop_requests(double p) {
   drop_probability_ = std::clamp(p, 0.0, 1.0);
   return *this;
@@ -40,6 +50,16 @@ const WorkerFault* Plan::worker_fault(int worker, int64_t step) const {
   for (const WorkerFault& f : faults_) {
     if (f.worker != worker || f.step != step) continue;
     // Kills shadow delays scheduled on the same (worker, step).
+    if (!hit || f.kind == WorkerFault::Kind::kKill) hit = &f;
+  }
+  return hit;
+}
+
+const WorkerFault* Plan::worker_round_fault(int worker, int64_t round) const {
+  const WorkerFault* hit = nullptr;
+  for (const WorkerFault& f : round_faults_) {
+    if (f.worker != worker || f.step != round) continue;
+    // Kills shadow delays scheduled on the same (worker, round).
     if (!hit || f.kind == WorkerFault::Kind::kKill) hit = &f;
   }
   return hit;

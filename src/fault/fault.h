@@ -41,7 +41,11 @@ class InjectedCrash : public std::runtime_error {
 
 // One scheduled worker fault inside a data-parallel run. `step` counts
 // global training steps (mini-batches) from the start of the run, so a plan
-// written for "kill late in training" stays meaningful across epochs.
+// written for "kill late in training" stays meaningful across epochs. Round
+// faults (scheduled via *_worker_round) reuse the same record with `step`
+// holding the round index; they live in a separate schedule, so a step
+// fault and a round fault on the same worker compose instead of shadowing
+// each other (tests/fault_test.cc pins this).
 struct WorkerFault {
   enum class Kind { kKill, kDelay };
   Kind kind = Kind::kKill;
@@ -62,13 +66,23 @@ class Plan {
   Plan& kill_worker(int worker, int64_t step);
   // Schedule a straggler: worker sleeps `delay_ms` at the top of `step`.
   Plan& delay_worker(int worker, int64_t step, double delay_ms);
+  // ---- Round-boundary membership faults (src/elastic). Rounds are the
+  // elastic trainer's epoch-granularity membership boundaries; a round kill
+  // reincarnates the worker before the round starts, a round delay marks it
+  // a straggler for the whole round (mitigated by the configured
+  // StragglerStrategy instead of a plain sleep). Round faults are a
+  // separate schedule from step faults: a step delay and a round kill (or
+  // any other cross-schedule pair) on the same worker both fire.
+  Plan& kill_worker_round(int worker, int64_t round);
+  Plan& delay_worker_round(int worker, int64_t round, double delay_ms);
   // Drop each serving request attempt with probability `p`, decided by a
   // seeded coin on (seed, request id, attempt) -- a retry of the same
   // request is a fresh draw, so retries converge.
   Plan& drop_requests(double p);
 
   bool empty() const {
-    return faults_.empty() && drop_probability_ <= 0.0;
+    return faults_.empty() && round_faults_.empty() &&
+           drop_probability_ <= 0.0;
   }
 
   // The fault scheduled for (worker, step), or nullptr. Kills shadow delays
@@ -79,6 +93,12 @@ class Plan {
   int kill_at(int64_t step) const;
   bool any_kill_at(int64_t step) const { return kill_at(step) >= 0; }
 
+  // The round fault scheduled for (worker, round), or nullptr. Same
+  // same-slot semantics as worker_fault: a round kill shadows a round delay
+  // scheduled on the same (worker, round), but never a step fault.
+  const WorkerFault* worker_round_fault(int worker, int64_t round) const;
+  bool any_round_fault() const { return !round_faults_.empty(); }
+
   // Seeded per-(id, attempt) drop coin (see drop_requests).
   bool should_drop(uint64_t request_id, int attempt) const;
 
@@ -88,6 +108,7 @@ class Plan {
  private:
   uint64_t seed_ = 0;
   std::vector<WorkerFault> faults_;
+  std::vector<WorkerFault> round_faults_;  // `step` holds the round index
   double drop_probability_ = 0;
 };
 

@@ -39,11 +39,15 @@ double modeled_epoch_seconds(const ModelCosts& costs, const MethodCosts& mc,
           ? static_cast<double>((workers + hw.compute_slots - 1) /
                                 hw.compute_slots)
           : 1.0;
+  // A synchronous step finishes when the slowest participating rank does:
+  // heterogeneous profiles (hw.worker_speeds) stretch compute by the
+  // slowest of the first `workers` ranks, which is what lets the planner
+  // answer "is the slow node worth keeping" (bench_elastic's hetero table).
   const double compute =
       (compute_override_s > 0
            ? compute_override_s
            : costs.step_flops(per_worker_batch) / hw.flops_per_s) *
-      oversub;
+      oversub / hw.slowest_speed(workers);
   const int64_t bytes = costs.grad_bytes();
   if (mc.collective == Coll::kAllreduce && mc.encode_s_per_byte == 0 &&
       overlap) {
@@ -106,6 +110,11 @@ std::string Plan::summary(int top_n) const {
            request.hw.intra_bandwidth_bytes_per_s,
            request.hw.workers_per_node, request.hw.flops_per_s,
            request.overlap ? 1 : 0);
+  if (request.hw.heterogeneous())
+    s += fmt("hetero: %d rank speeds, slowest=%.4g\n",
+             static_cast<int>(request.hw.worker_speeds.size()),
+             request.hw.slowest_speed(
+                 static_cast<int>(request.hw.worker_speeds.size())));
   if (request.measured_step_seconds > 0)
     s += fmt("calibrated step: %.6g s (vanilla fwd+bwd+opt)\n",
              request.measured_step_seconds);

@@ -124,6 +124,34 @@ double timed_ring_allreduce(int workers, int64_t elems, int64_t bucket_bytes,
   return seconds / reps;
 }
 
+Tensor ring_allreduce(const std::vector<Tensor>& grads, int64_t bucket_bytes) {
+  const int lanes = static_cast<int>(grads.size());
+  if (lanes < 1) throw std::runtime_error("ring_allreduce: no lanes");
+  const int64_t elems = grads[0].numel();
+  for (const Tensor& g : grads)
+    if (g.numel() != elems)
+      throw std::runtime_error("ring_allreduce: lane length mismatch");
+  const int64_t bucket_elems = std::max<int64_t>(
+      1, bucket_bytes / static_cast<int64_t>(sizeof(float)));
+  const int64_t n_buckets = (elems + bucket_elems - 1) / bucket_elems;
+
+  std::vector<Tensor> arena(grads.begin(), grads.end());
+  Tensor agg(Shape{elems});
+  float* const agg_p = agg.data();
+  Barrier barrier(lanes);
+  auto worker_fn = [&](int w) {
+    std::vector<const float*> grad_p(static_cast<size_t>(lanes), nullptr);
+    ring_reduce_pass(w, lanes, elems, bucket_elems, n_buckets, arena, grad_p,
+                     agg_p, barrier);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(lanes - 1));
+  for (int w = 1; w < lanes; ++w) pool.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (std::thread& t : pool) t.join();
+  return agg;
+}
+
 ShmDataParallelTrainer::ShmDataParallelTrainer(
     const core::VisionModelFactory& make_model,
     std::unique_ptr<compress::Reducer> reducer, const ShmClusterConfig& cfg)
@@ -149,10 +177,38 @@ ShmDataParallelTrainer::ShmDataParallelTrainer(
 
 dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
     const data::SyntheticImages& ds, int epoch) {
+  return train_epoch(ds, epoch, EpochParticipants{});
+}
+
+dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
+    const data::SyntheticImages& ds, int epoch,
+    const EpochParticipants& parts) {
   PF_TRACE_SCOPE_C("shm.epoch", epoch);
-  const int workers = cfg_.workers;
+  // Resolve the participating slots. `lane` below is a dense index into the
+  // active set (ring position); `slot` is the stable replica identity fault
+  // plans and membership schedules are written against.
+  std::vector<int> active = parts.active;
+  if (active.empty()) {
+    active.resize(static_cast<size_t>(cfg_.workers));
+    std::iota(active.begin(), active.end(), 0);
+  }
+  for (size_t i = 0; i < active.size(); ++i) {
+    if (active[i] < 0 || active[i] >= cfg_.workers ||
+        (i > 0 && active[i] <= active[i - 1]))
+      throw std::runtime_error(
+          "shm_cluster: active slots must be sorted, unique, and within "
+          "[0, workers)");
+  }
+  const int lanes = static_cast<int>(active.size());
+  const int canonical = parts.canonical >= 0 ? parts.canonical : active[0];
+  if (!std::binary_search(active.begin(), active.end(), canonical))
+    throw std::runtime_error("shm_cluster: canonical slot must be active");
+  if (!parts.delay_ms.empty() &&
+      parts.delay_ms.size() != static_cast<size_t>(cfg_.workers))
+    throw std::runtime_error(
+        "shm_cluster: delay_ms must be empty or sized `workers`");
+
   const dist::DistTrainConfig& tc = cfg_.train;
-  const int64_t shard = std::max<int64_t>(1, tc.global_batch / workers);
   const float lr = dist::lr_at_epoch(tc, epoch);
   for (auto& o : opts_) o->set_lr(lr);
   for (auto& r : replicas_) r->train(true);
@@ -169,19 +225,20 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   // against global steps so a plan survives multi-epoch runs.
   const int64_t step_base = global_step_;
 
-  // Shared step state. Workers only write their own arena slot / loss cell;
-  // all cross-worker reads are separated from the writes by a rendezvous.
-  std::vector<Tensor> arena(static_cast<size_t>(workers));
+  // Shared step state, one cell per active LANE. Workers only write their
+  // own arena slot / loss cell; all cross-worker reads are separated from
+  // the writes by a rendezvous.
+  std::vector<Tensor> arena(static_cast<size_t>(lanes));
   Tensor agg(Shape{total_params});
   // Ring path: every worker writes its own disjoint segment of `agg`.
   // Hoist the pointer once, before the threads spawn -- concurrent mutable
   // data() calls on one shared Tensor handle would race in the COW check.
-  // (`agg` is only reassigned on the reducer path, by worker 0 alone.)
+  // (`agg` is only reassigned on the reducer path, by lane 0 alone.)
   float* const agg_ring = ring_path_ ? agg.data() : nullptr;
-  std::vector<double> losses(static_cast<size_t>(workers), 0.0);
-  std::vector<double> compute_acc(static_cast<size_t>(workers), 0.0);
-  std::vector<double> comm_acc(static_cast<size_t>(workers), 0.0);
-  std::vector<double> fault_acc(static_cast<size_t>(workers), 0.0);
+  std::vector<double> losses(static_cast<size_t>(lanes), 0.0);
+  std::vector<double> compute_acc(static_cast<size_t>(lanes), 0.0);
+  std::vector<double> comm_acc(static_cast<size_t>(lanes), 0.0);
+  std::vector<double> fault_acc(static_cast<size_t>(lanes), 0.0);
   // Worker 0's time spent inside reducer_->reduce (reducer path only). It is
   // subtracted from worker 0's comm window after the join and re-attributed
   // as encode_s/decode_s (averaged per worker like every other component),
@@ -191,15 +248,28 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   int64_t bytes_per_worker =
       ring_path_ ? total_params * static_cast<int64_t>(sizeof(float)) : 0;
   int64_t steps = 0;
-  Barrier barrier(workers);
+  Barrier barrier(lanes);
 
-  auto worker_fn = [&](int w) {
-    // Per-step snapshot of every replica's flat-grad pointer (const reads:
-    // the Tensor handles themselves are written only by their owner).
-    std::vector<const float*> grad_p(static_cast<size_t>(workers), nullptr);
+  auto worker_fn = [&](int lane) {
+    const int w = active[static_cast<size_t>(lane)];
+    // Per-step snapshot of every active replica's flat-grad pointer (const
+    // reads: the Tensor handles themselves are written only by their owner).
+    std::vector<const float*> grad_p(static_cast<size_t>(lanes), nullptr);
     for (size_t bi = 0; bi < batches.size(); ++bi) {
       const data::ImageBatch& gb = batches[bi];
       const int64_t step = step_base + static_cast<int64_t>(bi);
+
+      // Round-boundary straggler delay (wait-all strategy): injected once,
+      // at the top of the epoch's first step; the barriers make every other
+      // worker absorb it.
+      if (bi == 0 && !parts.delay_ms.empty() &&
+          parts.delay_ms[static_cast<size_t>(w)] > 0) {
+        metrics::Timer t_fault;
+        fault::record_delay();
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            parts.delay_ms[static_cast<size_t>(w)]));
+        fault_acc[static_cast<size_t>(lane)] += t_fault.seconds();
+      }
 
       // Fault injection happens at the top of the step, before any barrier:
       // the one point where every replica's params and optimizer velocity
@@ -219,11 +289,13 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
             std::this_thread::sleep_for(
                 std::chrono::duration<double, std::milli>(f->delay_ms));
           } else {
-            // Donor = lowest replica with no kill scheduled this step. If
-            // every worker is scheduled to die simultaneously, worker 0 is
-            // spared: in-place recovery needs at least one survivor.
-            int donor = 0;
-            for (int j = 0; j < workers; ++j) {
+            // Donor = lowest ACTIVE replica with no kill scheduled this
+            // step (inactive replicas are stale by the membership
+            // contract). If every active worker is scheduled to die
+            // simultaneously, the lowest active slot is spared: in-place
+            // recovery needs at least one survivor.
+            int donor = active[0];
+            for (int j : active) {
               const fault::WorkerFault* jf = cfg_.fault.worker_fault(j, step);
               if (!jf || jf->kind != fault::WorkerFault::Kind::kKill) {
                 donor = j;
@@ -258,32 +330,33 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
               fault::record_recovery();
             }
           }
-          fault_acc[static_cast<size_t>(w)] += t_fault.seconds();
+          fault_acc[static_cast<size_t>(lane)] += t_fault.seconds();
         }
       }
 
+      // Reshard this batch over the active lanes (balanced contiguous
+      // partition; every sample lands in exactly one lane). Lanes past the
+      // sample count contribute nothing but still keep the rendezvous.
       const int64_t bsz = gb.images.size(0);
-      const int n_active = static_cast<int>(
-          std::min<int64_t>(workers, (bsz + shard - 1) / shard));
+      const int n_active = static_cast<int>(std::min<int64_t>(lanes, bsz));
 
       metrics::Timer t_compute;
-      if (w < n_active) {
+      const dist::ShardRange sr = dist::shard_range(bsz, lanes, lane);
+      if (sr.count > 0) {
         PF_TRACE_SCOPE_C("shm.compute", step);
-        const int64_t start = w * shard;
-        const int64_t count = std::min<int64_t>(shard, bsz - start);
-        Tensor imgs = slice(gb.images, 0, start, count);
-        std::vector<int64_t> labels(gb.labels.begin() + start,
-                                    gb.labels.begin() + start + count);
+        Tensor imgs = slice(gb.images, 0, sr.start, sr.count);
+        std::vector<int64_t> labels(gb.labels.begin() + sr.start,
+                                    gb.labels.begin() + sr.start + sr.count);
         nn::UnaryModule& m = *replicas_[static_cast<size_t>(w)];
         m.zero_grad();
         ag::Var logits = m.forward(ag::leaf(std::move(imgs)));
         ag::Var loss = ag::cross_entropy(logits, labels, tc.label_smoothing);
         ag::backward(loss);
-        arena[static_cast<size_t>(w)] = m.flat_grads();
+        arena[static_cast<size_t>(lane)] = m.flat_grads();
         const Tensor& lv = loss->value;
-        losses[static_cast<size_t>(w)] = lv[0];
+        losses[static_cast<size_t>(lane)] = lv[0];
       }
-      compute_acc[static_cast<size_t>(w)] += t_compute.seconds();
+      compute_acc[static_cast<size_t>(lane)] += t_compute.seconds();
 
       metrics::Timer t_comm;
       {
@@ -292,35 +365,35 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
         // Bucketed all-reduce run by the workers themselves; see
         // ring_reduce_pass (also the calibration target of
         // timed_ring_allreduce, so plan profiles price this exact loop).
-        ring_reduce_pass(w, n_active, total_params, bucket_elems, n_buckets,
-                         arena, grad_p, agg_ring, barrier);
+        ring_reduce_pass(lane, n_active, total_params, bucket_elems,
+                         n_buckets, arena, grad_p, agg_ring, barrier);
       } else {
         // Non-summing payloads go through the Reducer exactly as the
-        // modeled cluster runs it, centralized on worker 0. Worker 0 times
+        // modeled cluster runs it, centralized on lane 0. Lane 0 times
         // the reduce separately: that interval is excluded from its comm
         // window (see reduce_excl_s) and surfaces as encode_s/decode_s
         // instead, keeping the breakdown components disjoint. The other
-        // workers' barrier wait while worker 0 reduces genuinely is
+        // workers' barrier wait while lane 0 reduces genuinely is
         // synchronization time, so it stays in their comm windows.
         barrier.wait();
-        if (w == 0) {
+        if (lane == 0) {
           std::vector<Tensor> grads(arena.begin(), arena.begin() + n_active);
           compress::ReduceStats stats;
           metrics::Timer t_reduce;
           agg = reducer_->reduce(grads, param_shapes_, &stats);
           reduce_excl_s += t_reduce.seconds();
-          encode_s += stats.encode_seconds / workers;
-          decode_s += stats.decode_seconds / workers;
+          encode_s += stats.encode_seconds / lanes;
+          decode_s += stats.decode_seconds / lanes;
           bytes_per_worker = stats.payload_bytes_per_worker;
         }
         barrier.wait();
       }
       }
-      comm_acc[static_cast<size_t>(w)] += t_comm.seconds();
+      comm_acc[static_cast<size_t>(lane)] += t_comm.seconds();
 
       replicas_[static_cast<size_t>(w)]->set_flat_grads(agg);
       opts_[static_cast<size_t>(w)]->step();
-      if (w == 0) {
+      if (lane == 0) {
         for (int j = 0; j < n_active; ++j) {
           loss_sum += losses[static_cast<size_t>(j)];
           ++steps;
@@ -332,8 +405,8 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   };
 
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers - 1));
-  for (int w = 1; w < workers; ++w) pool.emplace_back(worker_fn, w);
+  pool.reserve(static_cast<size_t>(lanes - 1));
+  for (int lane = 1; lane < lanes; ++lane) pool.emplace_back(worker_fn, lane);
   worker_fn(0);
   for (std::thread& t : pool) t.join();
 
@@ -344,13 +417,17 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
   // is nonnegative by construction, not by clamping. trainer_test.cc asserts
   // total() == wall_s to timer resolution.
   comm_acc[0] -= reduce_excl_s;
+  last_compute_s_.assign(static_cast<size_t>(cfg_.workers), 0.0);
+  for (int lane = 0; lane < lanes; ++lane)
+    last_compute_s_[static_cast<size_t>(active[static_cast<size_t>(lane)])] =
+        compute_acc[static_cast<size_t>(lane)];
   const double wall_s = wall.seconds();
   dist::DistEpochRecord rec;
   rec.epoch = epoch;
   rec.breakdown.compute_s =
-      std::accumulate(compute_acc.begin(), compute_acc.end(), 0.0) / workers;
+      std::accumulate(compute_acc.begin(), compute_acc.end(), 0.0) / lanes;
   rec.breakdown.comm_s =
-      std::accumulate(comm_acc.begin(), comm_acc.end(), 0.0) / workers;
+      std::accumulate(comm_acc.begin(), comm_acc.end(), 0.0) / lanes;
   rec.breakdown.encode_s = encode_s;
   rec.breakdown.decode_s = decode_s;
   rec.breakdown.bytes_per_worker = bytes_per_worker;
@@ -359,8 +436,8 @@ dist::DistEpochRecord ShmDataParallelTrainer::train_epoch(
       0.0, wall_s - rec.breakdown.compute_s - rec.breakdown.comm_s -
                rec.breakdown.encode_s - rec.breakdown.decode_s);
   rec.train_loss = loss_sum / std::max<int64_t>(1, steps);
-  const core::EvalResult ev =
-      core::evaluate_vision(*replicas_[0], ds, tc.global_batch);
+  const core::EvalResult ev = core::evaluate_vision(
+      *replicas_[static_cast<size_t>(canonical)], ds, tc.global_batch);
   rec.test_acc = ev.acc;
   wall_seconds_ += rec.breakdown.total();
   rec.cumulative_sim_seconds = wall_seconds_;
@@ -387,20 +464,23 @@ std::vector<dist::DistEpochRecord> ShmDataParallelTrainer::train(
   return out;
 }
 
-void ShmDataParallelTrainer::save_snapshot(int next_epoch) {
+void ShmDataParallelTrainer::save_snapshot(int next_epoch, int canonical) {
   core::TrainState st;
   st.next_epoch = next_epoch;
   st.global_step = global_step_;
   st.cumulative_seconds = wall_seconds_;
   for (Rng& r : worker_rngs_) st.worker_rngs.push_back(r.state());
-  // Replicas are bitwise-identical at epoch boundaries, so worker 0's
-  // weights and optimizer state stand in for the whole cluster.
-  core::capture_optimizer(*opts_[0], st);
+  // Active replicas are bitwise-identical at epoch boundaries, so the
+  // canonical slot's weights and optimizer state stand in for the cluster
+  // (slot 0 for a static cluster; the elastic trainer passes the lowest
+  // active slot of the round it snapshots at).
+  core::capture_optimizer(*opts_[static_cast<size_t>(canonical)], st);
   // Stateful reducers (error-feedback residuals, sign momentum,
   // variance-gate moments) evolve across steps too: dropping them on
   // resume would silently re-lose the deferred gradient mass.
   if (reducer_) st.reducer = reducer_->state();
-  core::save_snapshot(*replicas_[0], st, cfg_.checkpoint_dir);
+  core::save_snapshot(*replicas_[static_cast<size_t>(canonical)], st,
+                      cfg_.checkpoint_dir);
 }
 
 int ShmDataParallelTrainer::resume() {
@@ -411,10 +491,14 @@ int ShmDataParallelTrainer::resume() {
         "shm_cluster: snapshot has " + std::to_string(st.worker_rngs.size()) +
         " worker Rng streams but the cluster has " +
         std::to_string(worker_rngs_.size()) +
-        " workers -- resume with the worker count that wrote the snapshot");
+        " worker slots -- a snapshot survives any membership change within "
+        "its slot universe, but resuming under a different universe is "
+        "rejected; resume with the slot count that wrote the snapshot");
   // Broadcast restored weights and optimizer state to every replica: the
-  // invariant that replicas are bitwise-identical at step boundaries must
-  // hold from the very first resumed step.
+  // invariant that active replicas are bitwise-identical at step boundaries
+  // must hold from the very first resumed step, and slots inactive at the
+  // snapshot round are re-bootstrapped by the membership layer on join
+  // anyway, so overwriting their (stale) state is harmless.
   const Tensor flat = replicas_[0]->flat_params();
   for (int w = 1; w < cfg_.workers; ++w)
     replicas_[static_cast<size_t>(w)]->set_flat_params(flat);

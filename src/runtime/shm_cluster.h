@@ -62,6 +62,30 @@ namespace pf::runtime {
 double timed_ring_allreduce(int workers, int64_t elems, int64_t bucket_bytes,
                             int reps);
 
+// Executes one real threaded bucketed ring all-reduce over `grads` (one
+// equal-length flat tensor per lane) and returns the aggregated mean. This
+// is the production reduction run by grads.size() actual threads -- the
+// elastic property test compares it bitwise against the sequential
+// ascending-lane mean for any lane count and bucket size, which is the
+// "re-bucketing preserves the all-reduced sum" contract membership changes
+// rely on.
+Tensor ring_allreduce(const std::vector<Tensor>& grads, int64_t bucket_bytes);
+
+// Which replica slots participate in one epoch (src/elastic membership).
+// Defaults reproduce the static cluster: every slot active, slot 0
+// canonical.
+struct EpochParticipants {
+  // Sorted, unique replica slots in [0, workers). Empty = all slots.
+  std::vector<int> active;
+  // Slot evaluated and reported for the epoch; -1 = lowest active slot.
+  // Must be active.
+  int canonical = -1;
+  // Per-SLOT straggler delay injected once at the top of the epoch's first
+  // step (round-boundary delays the wait-all strategy passes through).
+  // Empty = none; otherwise sized `workers`.
+  std::vector<double> delay_ms;
+};
+
 struct ShmClusterConfig {
   int workers = 4;
   // Ring-path bucket granularity in bytes (DDP-style gradient buckets).
@@ -88,19 +112,39 @@ class ShmDataParallelTrainer {
 
   dist::DistEpochRecord train_epoch(const data::SyntheticImages& ds,
                                     int epoch);
+  // Membership-aware epoch: only `parts.active` replica slots spawn worker
+  // threads; the global batch is resharded over them (dist::shard_range,
+  // every sample to exactly one active lane) and the ring reduce regroups
+  // to |active| dense lanes -- bitwise identical to the sequential
+  // ascending-lane mean at any active count. Inactive replicas are left
+  // untouched (stale); src/elastic bootstraps them on re-join.
+  dist::DistEpochRecord train_epoch(const data::SyntheticImages& ds,
+                                    int epoch,
+                                    const EpochParticipants& parts);
   std::vector<dist::DistEpochRecord> train(const data::SyntheticImages& ds);
 
-  // Write an atomic snapshot (replica-0 weights + TrainState with every
-  // worker's Rng stream) into cfg.checkpoint_dir; `next_epoch` is the epoch
-  // a resumed run should start from.
-  void save_snapshot(int next_epoch);
+  // Write an atomic snapshot (canonical-replica weights + TrainState with
+  // every worker slot's Rng stream) into cfg.checkpoint_dir; `next_epoch`
+  // is the epoch a resumed run should start from. `canonical` is the slot
+  // whose weights and optimizer state stand in for the cluster (slot 0 for
+  // the static cluster; the elastic trainer passes its current canonical).
+  void save_snapshot(int next_epoch, int canonical = 0);
   // Restore replicas, optimizers, Rng streams, and step/time counters from
-  // cfg.checkpoint_dir. Returns the epoch to continue from. The resumed run
-  // is bitwise-identical to an uninterrupted one.
+  // cfg.checkpoint_dir, broadcasting the snapshot state to every slot.
+  // Returns the epoch to continue from. The resumed run is
+  // bitwise-identical to an uninterrupted one. Throws when the snapshot's
+  // worker-slot count differs from this cluster's: membership can change
+  // *within* a fixed slot universe, but resuming under a different universe
+  // is rejected loudly (tests/elastic_test.cc asserts both directions).
   int resume();
 
   // Canonical replica (worker 0); evaluation runs against it.
   nn::UnaryModule& model() { return *replicas_[0]; }
+  // Per-slot replica / optimizer access for the elastic membership layer
+  // (bootstrap payload capture and joiner reincarnation). The replicas of
+  // slots inactive in the current round are stale by contract.
+  nn::UnaryModule& replica(int w) { return *replicas_[static_cast<size_t>(w)]; }
+  optim::SGD& optimizer(int w) { return *opts_[static_cast<size_t>(w)]; }
   int workers() const { return cfg_.workers; }
   double cumulative_seconds() const { return wall_seconds_; }
   int64_t global_step() const { return global_step_; }
@@ -113,6 +157,14 @@ class ShmDataParallelTrainer {
   // stochastic compressors and future per-worker augmentation).
   Rng& worker_rng(int w) { return worker_rngs_[static_cast<size_t>(w)]; }
 
+  // Per-SLOT fwd+bwd seconds of the most recent epoch (0 for slots that sat
+  // the epoch out). The elastic trainer folds these into measured relative
+  // speeds (ElasticTrainer::measured_speeds) that feed
+  // dist::HardwareProfile::worker_speeds for heterogeneous planning.
+  const std::vector<double>& last_epoch_compute_seconds() const {
+    return last_compute_s_;
+  }
+
  private:
   ShmClusterConfig cfg_;
   std::unique_ptr<compress::Reducer> reducer_;
@@ -124,6 +176,7 @@ class ShmDataParallelTrainer {
   double wall_seconds_ = 0;
   int64_t global_step_ = 0;
   double fault_seconds_ = 0;
+  std::vector<double> last_compute_s_;
 };
 
 }  // namespace pf::runtime

@@ -57,6 +57,40 @@ TEST(Fault, WorkerFaultLookupAndKillShadowsDelay) {
   EXPECT_EQ(p.kill_at(6), -1);
 }
 
+// Round faults are a SEPARATE schedule from step faults: a step delay and
+// a round kill on the same worker both fire (the old plan had no round
+// schedule at all, so membership events could not be faulted). Within the
+// round schedule, a kill shadows a delay on the same (worker, round).
+TEST(Fault, RoundFaultsComposeWithStepFaultsOnSameWorker) {
+  fault::Plan p(43);
+  EXPECT_FALSE(p.any_round_fault());
+  p.delay_worker(1, 5, 3.0).kill_worker_round(1, 2).delay_worker_round(
+      1, 2, 9.0);
+  EXPECT_TRUE(p.any_round_fault());
+  EXPECT_FALSE(p.empty());
+
+  // Cross-schedule: both the step delay and the round kill fire.
+  const fault::WorkerFault* step = p.worker_fault(1, 5);
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->kind, fault::WorkerFault::Kind::kDelay);
+  const fault::WorkerFault* round = p.worker_round_fault(1, 2);
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->kind, fault::WorkerFault::Kind::kKill);  // shadows delay
+
+  // The schedules do not leak into each other: the round index is not a
+  // step, and vice versa.
+  EXPECT_EQ(p.worker_fault(1, 2), nullptr);
+  EXPECT_EQ(p.worker_round_fault(1, 5), nullptr);
+  EXPECT_EQ(p.worker_round_fault(0, 2), nullptr);
+
+  fault::Plan delays_only(44);
+  delays_only.delay_worker_round(2, 1, 4.0);
+  const fault::WorkerFault* d = delays_only.worker_round_fault(2, 1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind, fault::WorkerFault::Kind::kDelay);
+  EXPECT_DOUBLE_EQ(d->delay_ms, 4.0);
+}
+
 TEST(Fault, DropCoinIsDeterministicAndFreshPerAttempt) {
   fault::Plan p(7);
   p.drop_requests(0.5);
